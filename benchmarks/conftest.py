@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures; the
+textual artifacts are written under ``benchmarks/out/`` so the run leaves
+an inspectable record (EXPERIMENTS.md summarizes them).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import Prospector
+from repro.data import standard_setup
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def registry_and_corpus():
+    return standard_setup()
+
+
+@pytest.fixture(scope="session")
+def prospector(registry_and_corpus):
+    registry, corpus = registry_and_corpus
+    return Prospector(registry, corpus)
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(out_dir: pathlib.Path, name: str, text: str) -> None:
+    (out_dir / name).write_text(text + "\n", encoding="utf-8")

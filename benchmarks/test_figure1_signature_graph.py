@@ -1,0 +1,58 @@
+"""Figure 1: part of the signature graph around the parsing example.
+
+Regenerates (as DOT) the neighborhood of the Section-1 jungloid
+``AST.parseCompilationUnit(JavaCore.createCompilationUnitFrom(file), ...)``
+with the jungloid's own edges bold, and checks the structural facts the
+figure illustrates: the path exists, widening edges (e.g. IClassFile →
+IJavaElement) are present, and the parse method's declared return type is
+a subclass of the requested ASTNode.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.graph import SignatureGraph, subgraph_dot
+from repro.search import GraphSearch
+
+
+def _figure1(registry):
+    graph = SignatureGraph.from_registry(registry)
+    search = GraphSearch(graph)
+    ifile = registry.lookup("org.eclipse.core.resources.IFile")
+    astnode = registry.lookup("org.eclipse.jdt.core.dom.ASTNode")
+    results = search.solve(ifile, astnode)
+    top = results[0]
+    roots = [ifile, registry.lookup("org.eclipse.jdt.core.ICompilationUnit"), astnode]
+    dot = subgraph_dot(graph, roots, radius=1, title="Figure 1: signature graph (parsing)")
+    return graph, top, dot
+
+
+def test_figure1_regenerate(registry_and_corpus, out_dir, benchmark):
+    registry, _ = registry_and_corpus
+    graph, top, dot = benchmark(_figure1, registry)
+    write_artifact(out_dir, "figure1.dot", dot)
+
+    # The bold-face jungloid of Figure 1.
+    rendered = top.render_expression("file")
+    assert "JavaCore.createCompilationUnitFrom" in rendered
+    assert "AST.parseCompilationUnit" in rendered
+    # Its last non-widening step returns CompilationUnit, a subclass of
+    # the requested ASTNode, reached through a widening edge.
+    assert top.steps[-1].is_widening
+    assert str(top.steps[-1].input_type).endswith("dom.CompilationUnit")
+    # The figure's widening example: IClassFile -> IJavaElement.
+    classfile = registry.lookup("org.eclipse.jdt.core.IClassFile")
+    widenings = [
+        e for e in graph.out_edges(classfile) if e.is_widening
+    ]
+    assert any(str(e.target).endswith("IJavaElement") for e in widenings)
+    # DOT artifact sanity.
+    assert "digraph" in dot and "IFile" in dot
+
+
+def test_figure1_graph_construction_speed(registry_and_corpus, benchmark):
+    registry, _ = registry_and_corpus
+    graph = benchmark(SignatureGraph.from_registry, registry)
+    assert graph.node_count() > 200
+    assert graph.edge_count() > 900

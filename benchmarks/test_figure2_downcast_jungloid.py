@@ -1,0 +1,76 @@
+"""Figures 2, 4 and 5: the downcast jungloid and its extraction.
+
+Figure 2's jungloid (debugger → selected watch expression, two downcasts)
+cannot be synthesized from signatures alone; Figure 4 shows the corpus
+method it is mined from; Figure 5 its extracted form. This benchmark
+times extraction over the bundled corpus and checks:
+
+* the signature-only graph cannot answer the query;
+* extraction recovers the Figure-2 example jungloid from the corpus;
+* the full jungloid graph synthesizes it within rank 5.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro import Prospector
+from repro.eval import chain_signature
+from repro.graph import SignatureGraph
+from repro.mining import extract_examples
+from repro.search import GraphSearch
+
+QUERY = (
+    "org.eclipse.debug.ui.IDebugView",
+    "org.eclipse.jdt.internal.debug.ui.display.JavaInspectExpression",
+)
+
+FIGURE2_CHAIN = (
+    "IDebugView.getViewer",
+    "Viewer.getSelection",
+    "cast IStructuredSelection",
+    "IStructuredSelection.getFirstElement",
+    "cast JavaInspectExpression",
+)
+
+
+def test_signatures_alone_cannot_answer(registry_and_corpus, benchmark):
+    registry, _ = registry_and_corpus
+    graph = SignatureGraph.from_registry(registry)
+    search = GraphSearch(graph)
+    results = benchmark(
+        search.solve, registry.lookup(QUERY[0]), registry.lookup(QUERY[1])
+    )
+    # Whatever the signature graph offers, it cannot contain the casts.
+    assert all(not j.has_downcast for j in results)
+    assert all(chain_signature(j) != FIGURE2_CHAIN for j in results)
+
+
+def test_figure2_extraction(registry_and_corpus, out_dir, benchmark):
+    registry, corpus = registry_and_corpus
+    examples = benchmark(
+        extract_examples, corpus.registry, corpus.units, corpus.corpus_types
+    )
+    assert len(examples) > 10
+    chains = {chain_signature(e.jungloid) for e in examples}
+    assert FIGURE2_CHAIN in chains, sorted(chains)
+    write_artifact(
+        out_dir,
+        "figure5_extracted_examples.txt",
+        "\n".join(str(e) for e in examples),
+    )
+
+
+def test_figure2_synthesis(prospector, out_dir, benchmark):
+    results = benchmark(prospector.query, *QUERY)
+    ranks = {
+        r.rank: r for r in results if chain_signature(r.jungloid) == FIGURE2_CHAIN
+    }
+    assert ranks, "Figure-2 jungloid not synthesized"
+    rank = min(ranks)
+    assert rank <= 5
+    write_artifact(
+        out_dir,
+        "figure2_jungloid.txt",
+        f"rank {rank}: {ranks[rank].inline('debugger')}",
+    )

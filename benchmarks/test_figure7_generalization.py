@@ -1,0 +1,67 @@
+"""Figure 7: generalizing example jungloids (the Ant Project/Target case).
+
+Two corpus methods obtain an Ant ``Project`` differently (a constructor
+vs. ``Task.getProject()``) and share the suffix
+``getTargets().get(name)`` before a ``(Target)`` cast; a third example
+ends in a different cast, ``(String)``, after ``getProperties().get(..)``.
+Generalization must (a) trim both Target examples' unneeded prefixes
+(areas I of the figure), and (b) retain the ``getTargets``/
+``getProperties`` distinction (area II) so the two casts stay separated.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.eval import chain_signature
+from repro.mining import generalize_examples, JungloidExtractor
+
+
+def _ant_examples(corpus):
+    extractor = JungloidExtractor(corpus.registry, corpus.units, corpus.corpus_types)
+    return [
+        e
+        for e in extractor.extract_all()
+        if "ant" in e.source and e.jungloid.input_type != e.jungloid.output_type
+    ]
+
+
+def test_figure7_generalization(registry_and_corpus, out_dir, benchmark):
+    _, corpus = registry_and_corpus
+    examples = _ant_examples(corpus)
+    generalized = benchmark(generalize_examples, examples)
+
+    target_suffixes = {
+        chain_signature(g.suffix)
+        for g in generalized
+        if str(g.suffix.output_type).endswith("Target")
+        and str(g.suffix.input_type).endswith("Project")
+    }
+    string_suffixes = {
+        chain_signature(g.suffix)
+        for g in generalized
+        if str(g.suffix.output_type).endswith("String")
+        and str(g.suffix.input_type).endswith("Project")
+    }
+
+    # (a) The two Target examples generalize to ONE shared suffix that
+    # keeps getTargets (area II) but drops the Project acquisition
+    # (area I: new Project() / task.getProject()).
+    assert ("Project.getTargets", "Dictionary.get", "cast Target") in target_suffixes
+    assert all("Task.getProject" not in s for suffix in target_suffixes for s in suffix)
+    assert all("new Project" not in s for suffix in target_suffixes for s in suffix)
+
+    # (b) The conflicting (String) cast keeps getProperties in its suffix.
+    assert ("Project.getProperties", "Dictionary.get", "cast String") in string_suffixes
+
+    # Prefixes really were trimmed.
+    trimmed = [g for g in generalized if g.trimmed_steps > 0]
+    assert trimmed
+
+    lines = ["Figure 7: generalization of Ant examples"]
+    for g in generalized:
+        lines.append(
+            f"  example ({len(g.example.jungloid)} steps): {g.example.jungloid.describe()}"
+        )
+        lines.append(f"    -> suffix ({len(g.suffix)} steps): {g.suffix.describe()}")
+    write_artifact(out_dir, "figure7_generalization.txt", "\n".join(lines))

@@ -1,0 +1,34 @@
+"""The informal studies of Sections 1, 3.2 and 6.
+
+* 16 stuck-at-reuse cases: 9 are single jungloids, 3 decompose into
+  multiple jungloids (so 12/16 are expressible as jungloid queries).
+* The early prototype that returned one arbitrary shortest jungloid
+  satisfied the programmer's intent in 9 of 10 trials.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.eval import classify_stuck_cases, run_prototype_test
+
+
+def test_stuck_case_classification(out_dir, benchmark):
+    report = benchmark(classify_stuck_cases)
+    write_artifact(out_dir, "informal_stuck_cases.txt", report.format_report())
+
+    assert report.jungloid_count == 9  # paper: 9 of 16
+    assert report.multiple_count == 3  # paper: 3 of 16
+    assert report.other_count == 4
+    assert report.expressible_count == 12  # paper: 12 of 16
+    assert report.all_match_expected
+
+
+def test_shortest_path_prototype(prospector, out_dir, benchmark):
+    report = benchmark.pedantic(
+        run_prototype_test, args=(prospector,), rounds=1, iterations=1
+    )
+    write_artifact(out_dir, "informal_prototype.txt", report.format_report())
+    # Paper: 9 out of 10 trials satisfied intent with the top answer.
+    assert report.hits == 9
+    assert report.trials == 10

@@ -1,0 +1,34 @@
+"""Connectivity sweep: answerability across arbitrary type pairs.
+
+Systematizes Section 5's "variety of queries": a deterministic random
+sample of (t_in, t_out) pairs over the full stub universe, recording
+answerability, result counts, shortest costs, and latency. The headline
+background fact: a majority of arbitrary pairs are connected by *some*
+jungloid, which is why ranking — not path existence — is the hard part.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.eval import run_query_sweep
+
+
+def test_query_sweep(prospector, out_dir, benchmark):
+    report = benchmark.pedantic(
+        run_query_sweep, args=(prospector,), kwargs={"samples": 200}, rounds=1, iterations=1
+    )
+    write_artifact(out_dir, "query_sweep.txt", report.format_report())
+
+    assert report.total > 150
+    # A majority of arbitrary pairs are reachable...
+    assert 0.4 <= report.answerable_fraction <= 0.9
+    # ...quickly.
+    assert report.max_seconds < 1.1
+    # Answerable queries return plural candidates on average (the
+    # ranking problem is real).
+    assert report.mean_results > 2
+    # The shortest-cost distribution is dominated by short jungloids.
+    histogram = dict(report.cost_histogram())
+    short = sum(v for k, v in histogram.items() if k <= 3)
+    assert short >= sum(histogram.values()) * 0.3

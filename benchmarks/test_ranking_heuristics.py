@@ -1,0 +1,73 @@
+"""Section 3.2's ranking analysis: the (FileInputStream, BufferedReader) case.
+
+The paper reports ~20 shortest jungloids for this query, among them the
+standard idiom ``new BufferedReader(new InputStreamReader(in))`` and the
+detour ``new HTMLParser(in).getReader()``; the package-crossing tie-break
+puts the idiom first, and the generality tie-break ranks
+``LineNumberReader`` (a BufferedReader subclass) below ``BufferedReader``
+itself.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.eval import chain_signature
+from repro.search import package_crossings, rank_key, true_output_type
+
+
+def test_ranking_fileinputstream_bufferedreader(prospector, out_dir, benchmark):
+    t_in = "java.io.FileInputStream"
+    t_out = "java.io.BufferedReader"
+    results = benchmark.pedantic(
+        prospector.query, args=(t_in, t_out), rounds=3, iterations=1
+    )
+    assert len(results) >= 5  # many parallel shortest jungloids
+
+    idiom = next(
+        r
+        for r in results
+        if chain_signature(r.jungloid)
+        == ("new InputStreamReader", "new BufferedReader")
+    )
+    detour = next(
+        r
+        for r in results
+        if chain_signature(r.jungloid) == ("new HTMLParser", "HTMLParser.getReader")
+    )
+    # Same length; the package-crossing tie-break decides.
+    assert idiom.jungloid.length == detour.jungloid.length == 2
+    assert package_crossings(idiom.jungloid) < package_crossings(detour.jungloid)
+    assert idiom.rank < detour.rank
+    assert idiom.rank == 1
+
+    # Generality tie-break: the LineNumberReader variant returns a
+    # subclass of the requested type and must rank below the idiom.
+    lnr = next(
+        r
+        for r in results
+        if chain_signature(r.jungloid)
+        == ("new InputStreamReader", "new LineNumberReader")
+    )
+    assert str(true_output_type(lnr.jungloid)).endswith("LineNumberReader")
+    assert idiom.rank < lnr.rank
+
+    registry = prospector.registry
+    lines = [f"query ({t_in}, {t_out}): {len(results)} results"]
+    for r in results:
+        key = rank_key(registry, r.jungloid)
+        lines.append(
+            f"  #{r.rank} cost={key.cost} crossings={key.crossings}"
+            f" generality={key.generality}  {r.inline('in')}"
+        )
+    write_artifact(out_dir, "ranking_section32.txt", "\n".join(lines))
+
+
+def test_ranking_is_deterministic(prospector, benchmark):
+    def run_twice():
+        a = prospector.query("java.io.InputStream", "java.io.BufferedReader")
+        b = prospector.query("java.io.InputStream", "java.io.BufferedReader")
+        return a, b
+
+    a, b = benchmark(run_twice)
+    assert [r.inline("x") for r in a] == [r.inline("x") for r in b]

@@ -1,0 +1,89 @@
+"""Viability of synthesized jungloids, executed on the mock runtime.
+
+Quantifies three run-time claims the paper makes but could only observe
+informally (Sections 3.2, 4.1, 4.2):
+
+* top-ranked results "usually return a non-null value without throwing";
+* corpus-mined example jungloids are "almost always viable";
+* the all-downcast-edges ablation's results "always throw
+  ClassCastException".
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.eval import (
+    measure_downcast_ablation,
+    measure_mined_examples,
+    measure_top_results,
+)
+from repro.runtime import Outcome, Runtime, eclipse_behavior_model
+
+
+def test_top_ranked_results_are_viable(prospector, out_dir, benchmark):
+    report = benchmark.pedantic(
+        measure_top_results, args=(prospector,), rounds=1, iterations=1
+    )
+    write_artifact(out_dir, "viability_top_ranked.txt", str(report))
+    assert report.total >= 40
+    assert report.viability_rate >= 0.9  # §3.2: "usually"
+
+
+def test_mined_examples_are_almost_always_viable(
+    registry_and_corpus, prospector, out_dir, benchmark
+):
+    registry, _ = registry_and_corpus
+    examples = prospector.mining.examples
+    report = benchmark.pedantic(
+        measure_mined_examples, args=(registry, examples), rounds=1, iterations=1
+    )
+    write_artifact(out_dir, "viability_mined.txt", str(report))
+    assert report.viability_rate >= 0.8  # §4.2: "almost always"
+    # The failures are nulls (context-stripped argument-flow variants),
+    # never cast explosions: working corpus code does not cast wrongly.
+    assert report.cast_failures == 0
+
+
+def test_downcast_ablation_results_always_throw(registry_and_corpus, out_dir, benchmark):
+    registry, _ = registry_and_corpus
+
+    def run():
+        return measure_downcast_ablation(
+            registry,
+            "org.eclipse.debug.ui.IDebugView",
+            "org.eclipse.jdt.internal.debug.ui.display.JavaInspectExpression",
+        )
+
+    report, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [str(report)] + [f"  {j.render_expression('debugger')}" for j in results]
+    write_artifact(out_dir, "viability_ablation.txt", "\n".join(lines))
+    assert report.total == 10
+    assert report.viable == 0  # §4.1: inviable
+    assert report.counts.get(Outcome.CLASS_CAST, 0) == report.total
+
+
+def test_mining_vs_ablation_precision_gap(registry_and_corpus, prospector, out_dir, benchmark):
+    """The headline comparison: mined graph top answers execute; the
+    ablated graph's do not."""
+    registry, _ = registry_and_corpus
+    runtime = Runtime(eclipse_behavior_model(registry))
+    query = (
+        "org.eclipse.debug.ui.IDebugView",
+        "org.eclipse.jdt.internal.debug.ui.display.JavaInspectExpression",
+    )
+    mined_results = benchmark.pedantic(
+        prospector.query, args=query, rounds=1, iterations=1
+    )
+    mined_viable = sum(
+        1 for r in mined_results if runtime.execute(r.jungloid).viable
+    )
+    ablated_report, _ = measure_downcast_ablation(registry, *query)
+    lines = [
+        "precision: mined jungloid graph vs all-downcast-edges ablation",
+        f"  mined graph: {mined_viable}/{len(mined_results)} of returned results viable",
+        f"  ablation:    {ablated_report.viable}/{ablated_report.total} of top results viable",
+    ]
+    write_artifact(out_dir, "viability_precision_gap.txt", "\n".join(lines))
+    assert mined_viable / len(mined_results) > 0.5
+    assert ablated_report.viable == 0

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The Section-2.2 walkthrough: Eclipse FAQ 270.
+
+"How do I manipulate the data in my visual editor?" — solved by two
+chained jungloid queries: the first synthesizes
+``dpreg.getDocumentProvider(ep.getEditorInput())`` with a free variable
+``dpreg``; the second fills the free variable with a ``void`` query that
+finds ``DocumentProviderRegistry.getDefault()``. The composition helper
+automates the whole workflow.
+
+Run:  python examples/faq270_editor_document.py
+"""
+
+from repro import CursorContext, Prospector, complete_free_variables
+from repro.data import standard_corpus, standard_registry
+
+
+def main() -> None:
+    registry = standard_registry()
+    prospector = Prospector(registry, standard_corpus(registry))
+
+    # The programmer has `IEditorPart ep` in scope and wants an
+    # IDocumentProvider. Content assist infers the queries from context.
+    context = CursorContext.at_assignment(
+        registry,
+        target_type="org.eclipse.ui.texteditor.IDocumentProvider",
+        target_name="dp",
+        visible=[("ep", "org.eclipse.ui.IEditorPart")],
+    )
+    print("inferred queries:")
+    for q in context.queries():
+        print(f"  {q}")
+
+    results = prospector.complete(context)
+    print("\ntop answers:")
+    for r in results[:4]:
+        print(f"  #{r.rank} [{r.source_type}] {r.inline('ep')}")
+
+    # Pick the registry-based jungloid (the FAQ's answer) and let the
+    # composition workflow fill its free variable with a follow-up query.
+    faq_answer = next(
+        r for r in results if "getDocumentProvider" in r.inline("ep") and r.free_variables()
+    )
+    composed = complete_free_variables(prospector, faq_answer, context)
+    print("\ncomposed snippet (two chained queries):")
+    print(composed.text)
+    print(f"\nfully bound: {composed.fully_bound}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Jungloid mining end to end (Section 4) on your own corpus.
+
+Loads the API stubs, resolves a small client program, extracts example
+jungloids from its downcasts via the backward interprocedural slice,
+generalizes them to their shortest distinguishing suffixes (Figure 7),
+grafts them into the jungloid graph as typestate paths (Figure 6), and
+answers a query no signature-only search could (Figure 2).
+
+Run:  python examples/mine_and_query.py
+"""
+
+from repro import Prospector
+from repro.corpus import load_corpus_texts
+from repro.data import standard_registry
+from repro.mining import extract_examples, generalize_examples
+
+CLIENT_CODE = """
+package example.client;
+
+import org.eclipse.debug.ui.IDebugView;
+import org.eclipse.jface.viewers.Viewer;
+import org.eclipse.jface.viewers.IStructuredSelection;
+import org.eclipse.jdt.internal.debug.ui.display.JavaInspectExpression;
+
+public class WatchExpressionAccess {
+  public JavaInspectExpression selectedExpression(IDebugView debugger) {
+    Viewer viewer = debugger.getViewer();
+    IStructuredSelection sel = (IStructuredSelection) viewer.getSelection();
+    JavaInspectExpression expr = (JavaInspectExpression) sel.getFirstElement();
+    return expr;
+  }
+}
+"""
+
+
+def main() -> None:
+    registry = standard_registry()
+    corpus = load_corpus_texts(registry, [("watch_expression.mj", CLIENT_CODE)])
+
+    print("=== 1. extraction: backward slices from every downcast ===")
+    examples = extract_examples(corpus.registry, corpus.units, corpus.corpus_types)
+    for e in examples:
+        print(f"  {e.jungloid.describe()}")
+
+    print("\n=== 2. generalization: shortest distinguishing suffixes ===")
+    for g in generalize_examples(examples):
+        print(f"  kept {len(g.suffix)}/{len(g.example.jungloid)} steps: {g.suffix.describe()}")
+
+    print("\n=== 3. query answering over the jungloid graph ===")
+    prospector = Prospector(registry, corpus)
+    results = prospector.query(
+        "org.eclipse.debug.ui.IDebugView",
+        "org.eclipse.jdt.internal.debug.ui.display.JavaInspectExpression",
+    )
+    mined = next(r for r in results if r.has_downcast)
+    print(f"  rank {mined.rank}: {mined.inline('debugger')}")
+    print("\n  as statements:")
+    for line in mined.code("debugger", "expr").lines:
+        print(f"    {line}")
+
+    # Section 4.4's precision caveat, live: with a single-file corpus
+    # there are no conflicting examples, so generalization trims the
+    # suffix aggressively and some synthesized jungloids go through
+    # objects the mined state does not really cover. The bundled corpus
+    # contains conflicting casts, which force longer (more precise)
+    # suffixes — compare:
+    print("\n=== 4. same query, full bundled corpus (longer suffixes) ===")
+    from repro.data import standard_corpus
+
+    full = Prospector(registry, standard_corpus(registry))
+    results = full.query(
+        "org.eclipse.debug.ui.IDebugView",
+        "org.eclipse.jdt.internal.debug.ui.display.JavaInspectExpression",
+    )
+    mined = next(r for r in results if r.has_downcast)
+    print(f"  rank {mined.rank}: {mined.inline('debugger')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""The Section-1 motivating example: parsing a Java source file.
+
+Two of the paper's authors each lost hours discovering
+``AST.parseCompilationUnit(JavaCore.createCompilationUnitFrom(file), false)``
+— the crucial link being the static method on the unrelated class
+``JavaCore``. PROSPECTOR synthesizes it from the query
+``(IFile, ASTNode)``, including the subtlety that the parse method's
+declared return type is ``CompilationUnit``, a *subclass* of the
+requested ``ASTNode`` (so a grep for methods returning ASTNode misses it;
+the signature graph's widening edges do not).
+
+Run:  python examples/parse_java_file.py
+"""
+
+from repro import Prospector
+from repro.data import standard_corpus, standard_registry
+from repro.search import type_chain
+
+
+def main() -> None:
+    registry = standard_registry()
+    prospector = Prospector(registry, standard_corpus(registry))
+
+    results = prospector.query(
+        "org.eclipse.core.resources.IFile", "org.eclipse.jdt.core.dom.ASTNode"
+    )
+    print("query (IFile, ASTNode):")
+    for r in results[:3]:
+        print(f"  #{r.rank}  {r.inline('file')}")
+
+    top = results[0]
+    print("\ntype chain of the top answer (note the widening at the end):")
+    print("  " + "  ->  ".join(str(t) for t in type_chain(top.jungloid)))
+
+    print("\ninsertable statements:")
+    print(top.code(input_variable="file", result_variable="ast").text)
+
+
+if __name__ == "__main__":
+    main()

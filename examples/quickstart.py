@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: ask PROSPECTOR how to get from one type to another.
+
+Builds the full system from the bundled J2SE/Eclipse stubs and corpus,
+then runs the paper's flagship queries and prints ranked, insertable
+Java snippets.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Prospector
+from repro.data import standard_corpus, standard_registry
+
+
+def main() -> None:
+    registry = standard_registry()
+    prospector = Prospector(registry, standard_corpus(registry))
+
+    print("=== Query: (InputStream, BufferedReader) ===")
+    for result in prospector.query("java.io.InputStream", "java.io.BufferedReader")[:3]:
+        print(f"  #{result.rank}  {result.inline('in')}")
+
+    print()
+    print("=== Query: (IFile, ASTNode-style parse, Section 1) ===")
+    for result in prospector.query(
+        "org.eclipse.core.resources.IFile", "org.eclipse.jdt.core.dom.ASTNode"
+    )[:3]:
+        print(f"  #{result.rank}  {result.inline('file')}")
+
+    print()
+    print("=== A mined-downcast query: (IDebugView, JavaInspectExpression) ===")
+    results = prospector.query(
+        "org.eclipse.debug.ui.IDebugView",
+        "org.eclipse.jdt.internal.debug.ui.display.JavaInspectExpression",
+    )
+    for result in results[:3]:
+        print(f"  #{result.rank}  {result.inline('debugger')}")
+
+    print()
+    print("=== Insertable statements for the top answer ===")
+    snippet = results[0].code(input_variable="debugger", result_variable="expr")
+    print(snippet.text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro: a reproduction of "Jungloid Mining: Helping to Navigate the API
+Jungle" (Mandelin, Xu, Bodik, Kimelman - PLDI 2005), the PROSPECTOR system.
+
+Quick start::
+
+    from repro import Prospector
+    from repro.data import standard_registry, standard_corpus
+
+    registry = standard_registry()
+    prospector = Prospector(registry, standard_corpus(registry))
+    for result in prospector.query("java.io.InputStream", "java.io.BufferedReader")[:3]:
+        print(result.rank, result.inline("in"))
+
+Subpackages:
+
+* :mod:`repro.typesystem` -- Java-style static type model
+* :mod:`repro.apispec` -- API stub language (``.api`` files)
+* :mod:`repro.minijava` -- mini-Java corpus language front end
+* :mod:`repro.jungloids` -- elementary jungloids, composition, codegen
+* :mod:`repro.graph` -- signature graph, jungloid graph, serialization
+* :mod:`repro.search` -- bounded path search, ranking, clustering
+* :mod:`repro.mining` -- backward slicing, extraction, generalization
+* :mod:`repro.corpus` -- corpus loading
+* :mod:`repro.core` -- the PROSPECTOR facade
+* :mod:`repro.data` -- bundled J2SE/Eclipse stubs and corpus programs
+* :mod:`repro.eval` -- the paper's experiments (Table 1, Figure 8, ...)
+"""
+
+from .core import (
+    ComposedSnippet,
+    CursorContext,
+    Prospector,
+    ProspectorConfig,
+    Query,
+    Synthesis,
+    VisibleVariable,
+    complete_free_variables,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComposedSnippet",
+    "CursorContext",
+    "Prospector",
+    "ProspectorConfig",
+    "Query",
+    "Synthesis",
+    "VisibleVariable",
+    "complete_free_variables",
+    "__version__",
+]

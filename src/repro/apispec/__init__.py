@@ -1,0 +1,31 @@
+"""API stub language: declare Java-style APIs in text or code."""
+
+from .builder import ApiBuilder, ClassBuilder
+from .errors import ApiLexError, ApiLinkError, ApiParseError, ApiSpecError
+from .lexer import Token, TokenKind, tokenize
+from .loader import load_api_files, load_api_text, load_api_texts
+from .parser import RawFile, RawMember, RawParam, RawType, RawTypeDecl, parse_api
+from .synthetic import SyntheticApiConfig, generate_synthetic_api
+
+__all__ = [
+    "ApiBuilder",
+    "ApiLexError",
+    "ApiLinkError",
+    "ApiParseError",
+    "ApiSpecError",
+    "ClassBuilder",
+    "RawFile",
+    "RawMember",
+    "RawParam",
+    "RawType",
+    "RawTypeDecl",
+    "SyntheticApiConfig",
+    "Token",
+    "TokenKind",
+    "generate_synthetic_api",
+    "load_api_files",
+    "load_api_text",
+    "load_api_texts",
+    "parse_api",
+    "tokenize",
+]

@@ -1,0 +1,146 @@
+"""Programmatic API construction: a fluent alternative to stub files.
+
+Tests and the synthetic-API generator build registries directly; the
+builder keeps that terse while still going through the same registry
+invariants the stub loader uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ..typesystem import (
+    Constructor,
+    Field,
+    JavaType,
+    Method,
+    NamedType,
+    Parameter,
+    PRIMITIVES,
+    TypeKind,
+    TypeRegistry,
+    Visibility,
+    array_of,
+    named,
+)
+
+TypeLike = Union[str, JavaType]
+
+
+class ClassBuilder:
+    """Adds members to one declared type."""
+
+    def __init__(self, api: "ApiBuilder", type_: NamedType):
+        self._api = api
+        self.type = type_
+
+    def _resolve(self, t: TypeLike) -> JavaType:
+        return self._api.resolve(t)
+
+    def field(
+        self,
+        name: str,
+        type_: TypeLike,
+        static: bool = False,
+        visibility: Visibility = Visibility.PUBLIC,
+    ) -> "ClassBuilder":
+        self._api.registry.add_field(
+            Field(self.type, name, self._resolve(type_), static=static, visibility=visibility)
+        )
+        return self
+
+    def method(
+        self,
+        name: str,
+        returns: TypeLike,
+        params: Sequence[TypeLike] = (),
+        static: bool = False,
+        visibility: Visibility = Visibility.PUBLIC,
+    ) -> "ClassBuilder":
+        parameters = tuple(
+            Parameter(f"arg{i}", self._resolve(p)) for i, p in enumerate(params)
+        )
+        self._api.registry.add_method(
+            Method(
+                self.type,
+                name,
+                self._resolve(returns),
+                parameters,
+                static=static,
+                visibility=visibility,
+            )
+        )
+        return self
+
+    def constructor(
+        self,
+        params: Sequence[TypeLike] = (),
+        visibility: Visibility = Visibility.PUBLIC,
+    ) -> "ClassBuilder":
+        parameters = tuple(
+            Parameter(f"arg{i}", self._resolve(p)) for i, p in enumerate(params)
+        )
+        self._api.registry.add_constructor(
+            Constructor(self.type, parameters, visibility=visibility)
+        )
+        return self
+
+
+class ApiBuilder:
+    """Fluent construction of a :class:`TypeRegistry`.
+
+    Example::
+
+        api = ApiBuilder()
+        api.cls("java.io.InputStream")
+        api.cls("java.io.InputStreamReader", extends="java.io.Reader") \\
+           .constructor(["java.io.InputStream"])
+    """
+
+    def __init__(self, registry: Optional[TypeRegistry] = None):
+        self.registry = registry if registry is not None else TypeRegistry()
+
+    def resolve(self, t: TypeLike) -> JavaType:
+        if not isinstance(t, str):
+            return t
+        dims = 0
+        while t.endswith("[]"):
+            t = t[:-2]
+            dims += 1
+        if t == "void":
+            from ..typesystem import VOID
+
+            base: JavaType = VOID
+        elif t in PRIMITIVES:
+            base = PRIMITIVES[t]
+        else:
+            base = named(t)
+        if dims:
+            return array_of(base, dims)  # type: ignore[arg-type]
+        return base
+
+    def cls(
+        self,
+        dotted_name: str,
+        extends: Optional[str] = None,
+        implements: Sequence[str] = (),
+        abstract: bool = False,
+    ) -> ClassBuilder:
+        t = self.registry.declare(
+            dotted_name,
+            kind=TypeKind.CLASS,
+            superclass=extends,
+            interfaces=implements,
+            abstract=abstract,
+        )
+        return ClassBuilder(self, t)
+
+    def interface(self, dotted_name: str, extends: Sequence[str] = ()) -> ClassBuilder:
+        t = self.registry.declare(
+            dotted_name, kind=TypeKind.INTERFACE, interfaces=extends, abstract=True
+        )
+        return ClassBuilder(self, t)
+
+    def on(self, dotted_name: str) -> ClassBuilder:
+        """Continue adding members to an already-declared type."""
+        return ClassBuilder(self, self.registry.lookup(dotted_name))

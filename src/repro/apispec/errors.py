@@ -1,0 +1,29 @@
+"""Errors for the API stub language."""
+
+from __future__ import annotations
+
+
+class ApiSpecError(Exception):
+    """Base class for stub-file problems."""
+
+
+class ApiLexError(ApiSpecError):
+    """The stub text contains an unlexable character sequence."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class ApiParseError(ApiSpecError):
+    """The stub text does not match the stub grammar."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class ApiLinkError(ApiSpecError):
+    """A type reference could not be resolved to a declared type."""

@@ -1,0 +1,140 @@
+"""Lexer for the ``.api`` stub language.
+
+The stub language is a Java-signature subset: package headers, class and
+interface declarations with modifiers, and member signatures (no bodies).
+The lexer produces a flat token stream with line/column positions for
+error reporting; ``//`` and ``/* */`` comments are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, List
+
+from .errors import ApiLexError
+
+
+class TokenKind(Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMI = ";"
+    DOT = "."
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "package",
+        "class",
+        "interface",
+        "extends",
+        "implements",
+        "public",
+        "protected",
+        "private",
+        "static",
+        "abstract",
+        "final",
+        "native",
+        "synchronized",
+        "void",
+        "boolean",
+        "byte",
+        "short",
+        "char",
+        "int",
+        "long",
+        "float",
+        "double",
+    }
+)
+
+_PUNCT = {
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+    ".": TokenKind.DOT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind.name}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize stub-file text, raising :class:`ApiLexError` on bad input."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    column = 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and i + 1 < n and text[i + 1] == "*":
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise ApiLexError("unterminated block comment", line, column)
+            skipped = text[i : end + 2]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            i = end + 2
+            continue
+        if ch.isalpha() or ch == "_" or ch == "$":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] in "_$"):
+                i += 1
+            word = text[start:i]
+            kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.IDENT
+            yield Token(kind, word, line, column)
+            column += i - start
+            continue
+        if ch in _PUNCT:
+            yield Token(_PUNCT[ch], ch, line, column)
+            i += 1
+            column += 1
+            continue
+        raise ApiLexError(f"unexpected character {ch!r}", line, column)
+    yield Token(TokenKind.EOF, "", line, column)

@@ -1,0 +1,102 @@
+"""Synthetic API generation for scale experiments.
+
+The paper's performance notes (Section 5) are measured against the full
+J2SE + Eclipse surface (thousands of classes, ~21,000 methods). We cannot
+ship those class files, so the scale benchmarks use a deterministic
+synthetic API whose size parameters are chosen to match that order of
+magnitude, with a connectivity profile (per-class method counts, hierarchy
+depth, package sizes) loosely modeled on the real libraries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..typesystem import TypeRegistry
+from .builder import ApiBuilder
+
+
+@dataclass(frozen=True)
+class SyntheticApiConfig:
+    """Size/shape knobs for the generated API."""
+
+    seed: int = 20050612  # PLDI 2005 presentation date
+    packages: int = 40
+    classes_per_package: int = 25
+    interfaces_per_package: int = 5
+    methods_per_class: int = 8
+    fields_per_class: int = 1
+    constructors_per_class: int = 1
+    max_params: int = 2
+    subclass_fraction: float = 0.5
+    cross_package_fraction: float = 0.15
+
+    @property
+    def total_types(self) -> int:
+        return self.packages * (self.classes_per_package + self.interfaces_per_package)
+
+
+def generate_synthetic_api(
+    config: SyntheticApiConfig = SyntheticApiConfig(),
+    registry: Optional[TypeRegistry] = None,
+) -> TypeRegistry:
+    """Generate a deterministic synthetic API registry.
+
+    Types are named ``synth.p<i>.C<j>`` / ``synth.p<i>.I<j>``. Roughly half
+    the classes extend an earlier class of the same package, giving the
+    hierarchy the multi-level shape the widening edges need; a fraction of
+    method return/parameter types cross package boundaries so that
+    realistic jungloids cross packages too (exercising the ranking
+    tie-break at scale).
+    """
+    rng = random.Random(config.seed)
+    api = ApiBuilder(registry)
+    names: List[List[str]] = []  # per package: type names
+
+    # Pass 1: declare all types (so members can reference any of them).
+    for p in range(config.packages):
+        pkg = f"synth.p{p}"
+        package_names: List[str] = []
+        for j in range(config.interfaces_per_package):
+            name = f"{pkg}.I{j}"
+            api.interface(name)
+            package_names.append(name)
+        for j in range(config.classes_per_package):
+            name = f"{pkg}.C{j}"
+            extends = None
+            if j > 0 and rng.random() < config.subclass_fraction:
+                extends = f"{pkg}.C{rng.randrange(j)}"
+            implements = []
+            if config.interfaces_per_package and rng.random() < 0.3:
+                implements.append(f"{pkg}.I{rng.randrange(config.interfaces_per_package)}")
+            api.cls(name, extends=extends, implements=implements)
+            package_names.append(name)
+        names.append(package_names)
+
+    def pick_type(home_package: int) -> str:
+        if rng.random() < config.cross_package_fraction:
+            pkg_index = rng.randrange(config.packages)
+        else:
+            pkg_index = home_package
+        return rng.choice(names[pkg_index])
+
+    # Pass 2: members.
+    for p in range(config.packages):
+        for name in names[p]:
+            is_interface = ".I" in name.rpartition(".")[2] or name.rpartition(".")[2].startswith("I")
+            cb = api.on(name)
+            for m in range(config.methods_per_class):
+                returns = pick_type(p)
+                n_params = rng.randrange(config.max_params + 1)
+                params = [pick_type(p) for _ in range(n_params)]
+                static = (not is_interface) and rng.random() < 0.1
+                cb.method(f"m{m}", returns, params, static=static)
+            if not is_interface:
+                for f in range(config.fields_per_class):
+                    cb.field(f"f{f}", pick_type(p))
+                for _ in range(config.constructors_per_class):
+                    n_params = rng.randrange(config.max_params + 1)
+                    cb.constructor([pick_type(p) for _ in range(n_params)])
+    return api.registry

@@ -1,0 +1,228 @@
+"""Command-line interface: PROSPECTOR as a shell tool.
+
+Examples::
+
+    python -m repro query java.io.InputStream java.io.BufferedReader
+    python -m repro query IFile ASTNode --statements --input-var file
+    python -m repro complete Shell --visible e:KeyEvent
+    python -m repro table1
+    python -m repro mine
+    python -m repro userstudy --seed 7
+    python -m repro stats
+    python -m repro dump-bundle graph.json
+
+By default the bundled J2SE/Eclipse stubs and corpus are loaded; pass
+``--api FILE`` / ``--corpus FILE`` (repeatable) to run against your own
+stub and mini-Java files instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .apispec import load_api_files
+from .core import CursorContext, Prospector
+from .corpus import load_corpus_files
+from .data import standard_corpus, standard_registry
+from .eval import classify_stuck_cases, run_prototype_test, run_table1, simulate_user_study
+from .graph import bundle_to_json, graph_stats
+
+
+def _build_prospector(args: argparse.Namespace) -> Prospector:
+    if getattr(args, "api", None):
+        registry = load_api_files(args.api)
+        corpus = (
+            load_corpus_files(registry, args.corpus)
+            if getattr(args, "corpus", None)
+            else None
+        )
+    else:
+        registry = standard_registry()
+        if getattr(args, "corpus", None):
+            corpus = load_corpus_files(registry, args.corpus)
+        elif getattr(args, "no_corpus", False):
+            corpus = None
+        else:
+            corpus = standard_corpus(registry)
+    return Prospector(registry, corpus)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    prospector = _build_prospector(args)
+    results = prospector.query(args.t_in, args.t_out)
+    if not results:
+        print(f"no jungloids found for ({args.t_in}, {args.t_out})")
+        return 1
+    for r in results[: args.top]:
+        print(f"#{r.rank}  {r.inline(args.input_var)}")
+        if args.statements:
+            snippet = r.code(args.input_var, args.result_var)
+            for line in snippet.lines:
+                print(f"      {line}")
+    return 0
+
+
+def _parse_visible(registry, pairs: Sequence[str]) -> List:
+    visible = []
+    for pair in pairs:
+        name, _, type_name = pair.partition(":")
+        if not type_name:
+            raise SystemExit(f"--visible expects name:Type, got {pair!r}")
+        visible.append((name, type_name))
+    return visible
+
+
+def _cmd_complete(args: argparse.Namespace) -> int:
+    prospector = _build_prospector(args)
+    context = CursorContext.at_assignment(
+        prospector.registry,
+        target_type=args.t_out,
+        target_name=args.target_name,
+        visible=_parse_visible(prospector.registry, args.visible),
+    )
+    results = prospector.complete(context)
+    if not results:
+        print(f"no completions for {args.t_out}")
+        return 1
+    for r in results[: args.top]:
+        var = context.variable_of_type(r.jungloid.input_type)
+        print(f"#{r.rank}  {r.inline(var.name if var else '')}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    prospector = _build_prospector(args)
+    report = run_table1(prospector)
+    print(report.format_table())
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    prospector = _build_prospector(args)
+    mining = prospector.mining
+    if mining is None:
+        print("no corpus loaded; nothing to mine")
+        return 1
+    print(f"extracted {mining.example_count} example jungloids:")
+    for e in mining.examples:
+        print(f"  {e}")
+    print(f"\ngeneralized to {mining.suffix_count} unique suffixes:")
+    for s in mining.suffixes:
+        print(f"  {s.describe()}")
+    summary = mining.trimming_summary()
+    print(
+        f"\nmean example length {summary['mean_example_len']:.1f}"
+        f" -> mean suffix length {summary['mean_suffix_len']:.1f}"
+    )
+    return 0
+
+
+def _cmd_userstudy(args: argparse.Namespace) -> int:
+    result = simulate_user_study(seed=args.seed)
+    print(result.format_report())
+    return 0
+
+
+def _cmd_informal(args: argparse.Namespace) -> int:
+    print(classify_stuck_cases().format_report())
+    print()
+    print(run_prototype_test(_build_prospector(args)).format_report())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    prospector = _build_prospector(args)
+    print("registry:")
+    for key, value in prospector.registry.stats().items():
+        print(f"  {key:>14}: {value}")
+    print("graph:")
+    print(graph_stats(prospector.graph))
+    if prospector.mining is not None:
+        print("mining:")
+        print(f"  {'examples':>14}: {prospector.mining.example_count}")
+        print(f"  {'suffixes':>14}: {prospector.mining.suffix_count}")
+    return 0
+
+
+def _cmd_dump_bundle(args: argparse.Namespace) -> int:
+    prospector = _build_prospector(args)
+    mined = prospector.mining.suffixes if prospector.mining is not None else []
+    text = bundle_to_json(prospector.registry, mined, indent=2 if args.pretty else None)
+    if args.path == "-":
+        print(text)
+    else:
+        with open(args.path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(text)} bytes to {args.path}")
+    return 0
+
+
+def _add_data_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--api", action="append", metavar="FILE", help="load this .api stub file (repeatable; replaces the bundled stubs)")
+    parser.add_argument("--corpus", action="append", metavar="FILE", help="load this .mj corpus file (repeatable)")
+    parser.add_argument("--no-corpus", action="store_true", help="signatures only: skip corpus mining")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PROSPECTOR jungloid synthesis (PLDI 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    q = sub.add_parser("query", help="answer a jungloid query (t_in, t_out)")
+    q.add_argument("t_in", help="input type (qualified or unique simple name)")
+    q.add_argument("t_out", help="output type")
+    q.add_argument("--top", type=int, default=5, help="results to show (default 5)")
+    q.add_argument("--input-var", default="x", help="name of the input variable")
+    q.add_argument("--result-var", default="result", help="name for the result variable")
+    q.add_argument("--statements", action="store_true", help="also print insertable statements")
+    _add_data_options(q)
+    q.set_defaults(func=_cmd_query)
+
+    c = sub.add_parser("complete", help="content-assist: infer queries from context")
+    c.add_argument("t_out", help="declared type of the assigned variable")
+    c.add_argument("--visible", nargs="*", default=[], metavar="NAME:TYPE", help="visible variables")
+    c.add_argument("--target-name", default="result")
+    c.add_argument("--top", type=int, default=5)
+    _add_data_options(c)
+    c.set_defaults(func=_cmd_complete)
+
+    t = sub.add_parser("table1", help="run the Table-1 query-processing experiment")
+    _add_data_options(t)
+    t.set_defaults(func=_cmd_table1)
+
+    m = sub.add_parser("mine", help="show mined example jungloids and suffixes")
+    _add_data_options(m)
+    m.set_defaults(func=_cmd_mine)
+
+    u = sub.add_parser("userstudy", help="run the simulated user study (Figure 8)")
+    u.add_argument("--seed", type=int, default=20050612)
+    u.set_defaults(func=_cmd_userstudy)
+
+    i = sub.add_parser("informal", help="run the informal studies (stuck cases, prototype)")
+    _add_data_options(i)
+    i.set_defaults(func=_cmd_informal)
+
+    s = sub.add_parser("stats", help="registry / graph / mining statistics")
+    _add_data_options(s)
+    s.set_defaults(func=_cmd_stats)
+
+    d = sub.add_parser("dump-bundle", help="serialize the graph bundle to JSON")
+    d.add_argument("path", help="output path, or - for stdout")
+    d.add_argument("--pretty", action="store_true")
+    _add_data_options(d)
+    d.set_defaults(func=_cmd_dump_bundle)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

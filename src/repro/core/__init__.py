@@ -1,0 +1,22 @@
+"""PROSPECTOR core: queries, context inference, the facade, composition."""
+
+from .compose import ComposedSnippet, CompositionStep, complete_free_variables
+from .context import CursorContext, VisibleVariable
+from .prospector import Prospector, ProspectorConfig
+from .query import Query, TypeSpec, resolve_type_spec
+from .results import Synthesis, number_results
+
+__all__ = [
+    "ComposedSnippet",
+    "CompositionStep",
+    "CursorContext",
+    "Prospector",
+    "ProspectorConfig",
+    "Query",
+    "Synthesis",
+    "TypeSpec",
+    "VisibleVariable",
+    "complete_free_variables",
+    "number_results",
+    "resolve_type_spec",
+]

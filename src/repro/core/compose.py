@@ -1,0 +1,107 @@
+"""Composing jungloids across queries (Section 2.2's workflow).
+
+A synthesized jungloid may contain *free variables* — method arguments
+synthesis could not bind. The paper's workflow issues a follow-up query
+per free variable, with the free variable's type as ``t_out`` and the
+visible objects (plus ``void``) as sources; the chosen answers are
+spliced into the final snippet. ``complete_free_variables`` automates
+that, taking the top-ranked answer for each follow-up query (the caller
+can override choices, like the user picking from the list).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..jungloids import FreeVariable, JavaSnippet, Jungloid, NameAllocator, render_statements
+from ..typesystem import JavaType, VOID, is_reference
+from .context import CursorContext, VisibleVariable
+from .prospector import Prospector
+from .results import Synthesis
+
+
+@dataclass
+class CompositionStep:
+    """One follow-up synthesis that filled a free variable."""
+
+    free_variable: FreeVariable
+    synthesis: Optional[Synthesis]  # None: left for the user
+
+    @property
+    def filled(self) -> bool:
+        return self.synthesis is not None
+
+
+@dataclass
+class ComposedSnippet:
+    """The final multi-jungloid snippet with its provenance."""
+
+    snippet: JavaSnippet
+    primary: Synthesis
+    steps: List[CompositionStep] = field(default_factory=list)
+
+    @property
+    def fully_bound(self) -> bool:
+        return all(s.filled for s in self.steps)
+
+    @property
+    def text(self) -> str:
+        return self.snippet.text
+
+
+def complete_free_variables(
+    prospector: Prospector,
+    primary: Synthesis,
+    context: CursorContext,
+    choices: Optional[Dict[str, int]] = None,
+) -> ComposedSnippet:
+    """Fill the reference-typed free variables of ``primary``.
+
+    ``choices`` optionally maps a free variable's name to the (0-based)
+    index of the follow-up result to use, defaulting to the top answer —
+    modeling the user's selection from the ranked list.
+    """
+    choices = choices or {}
+    input_var = context.variable_of_type(primary.jungloid.input_type)
+    input_name = input_var.name if input_var is not None else None
+
+    # Render the primary jungloid first to learn its free variable names.
+    primary_snippet = render_statements(
+        primary.jungloid,
+        input_variable=input_name,
+        result_variable=context.target_name,
+        declare_free_variables=False,
+    )
+    lines: List[str] = []
+    steps: List[CompositionStep] = []
+    for fv in primary_snippet.free_variables:
+        if not is_reference(fv.type):
+            continue  # primitive free variables are literals the user types
+        follow_up = prospector.complete(
+            CursorContext(
+                target_type=fv.type,
+                target_name=fv.name,
+                visible=list(context.visible),
+            )
+        )
+        index = choices.get(fv.name, 0)
+        if index < len(follow_up):
+            chosen = follow_up[index]
+            sub_input = context.variable_of_type(chosen.jungloid.input_type)
+            sub_snippet = chosen.code(
+                input_variable=sub_input.name if sub_input is not None else None,
+                result_variable=fv.name,
+            )
+            lines.extend(sub_snippet.lines)
+            steps.append(CompositionStep(fv, chosen))
+        else:
+            lines.append(f"{fv.type} {fv.name}; // free variable (no answer found)")
+            steps.append(CompositionStep(fv, None))
+    lines.extend(primary_snippet.lines)
+    combined = JavaSnippet(
+        lines=lines,
+        result_variable=primary_snippet.result_variable,
+        free_variables=list(primary_snippet.free_variables),
+    )
+    return ComposedSnippet(snippet=combined, primary=primary, steps=steps)

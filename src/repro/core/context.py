@@ -1,0 +1,79 @@
+"""Cursor-context query inference (Section 5's content-assist integration).
+
+PROSPECTOR is invoked at two cursor contexts — variable initializers
+(``Type var = |``) and assignment right-hand sides (``var = |``). The
+declared type of the assigned variable is ``t_out``; the types of the
+variables lexically visible at the cursor are the ``t_in`` candidates,
+plus ``void`` so constructor/static-method chains are found when no
+visible object helps (the Section 2.2 ``DocumentProviderRegistry`` case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..typesystem import JavaType, TypeRegistry, VOID
+from .query import Query, TypeSpec, resolve_type_spec
+
+
+@dataclass(frozen=True)
+class VisibleVariable:
+    """One variable in scope at the cursor."""
+
+    name: str
+    type: JavaType
+
+    def __str__(self) -> str:
+        return f"{self.type} {self.name}"
+
+
+@dataclass
+class CursorContext:
+    """The information content assist sees at the cursor position."""
+
+    #: Declared type of the variable being assigned (= ``t_out``).
+    target_type: JavaType
+    #: Name of the variable being assigned, used for codegen.
+    target_name: str = "result"
+    #: Variables lexically visible at the cursor, nearest first.
+    visible: List[VisibleVariable] = field(default_factory=list)
+
+    @staticmethod
+    def at_assignment(
+        registry: TypeRegistry,
+        target_type: TypeSpec,
+        target_name: str = "result",
+        visible: Sequence[Tuple[str, TypeSpec]] = (),
+    ) -> "CursorContext":
+        """Build a context from name strings (test/demo convenience)."""
+        return CursorContext(
+            target_type=resolve_type_spec(registry, target_type),
+            target_name=target_name,
+            visible=[
+                VisibleVariable(name, resolve_type_spec(registry, spec))
+                for name, spec in visible
+            ],
+        )
+
+    def source_types(self) -> List[JavaType]:
+        """Deduplicated ``t_in`` candidates, ending with ``void``."""
+        seen = set()
+        out: List[JavaType] = []
+        for v in self.visible:
+            if v.type not in seen:
+                seen.add(v.type)
+                out.append(v.type)
+        out.append(VOID)
+        return out
+
+    def queries(self) -> List[Query]:
+        """The inferred query set, one per source type (Section 1)."""
+        return [Query(t, self.target_type) for t in self.source_types()]
+
+    def variable_of_type(self, t: JavaType) -> Optional[VisibleVariable]:
+        """The nearest visible variable with exactly this type."""
+        for v in self.visible:
+            if v.type == t:
+                return v
+        return None

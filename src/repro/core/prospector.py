@@ -1,0 +1,205 @@
+"""The PROSPECTOR facade: the library's main entry point.
+
+Wires everything together: API registry → (optional) corpus mining →
+jungloid graph → ranked query answering → code generation. Mirrors the
+tool of Section 5, minus the Eclipse GUI: :meth:`query` is the search
+engine, :meth:`complete` is the content-assist integration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..corpus import CorpusProgram, load_corpus_texts
+from ..graph import JungloidGraph, graph_stats
+from ..jungloids import CostModel, DEFAULT_COST_MODEL
+from ..mining import (
+    ArgumentExample,
+    ArgumentMiner,
+    ExtractionConfig,
+    MiningResult,
+    mine_corpus,
+)
+from ..search import GraphSearch, SearchConfig, representatives
+from ..typesystem import Method, TypeRegistry, VOID
+from .context import CursorContext
+from .query import Query, TypeSpec, resolve_type_spec
+from .results import Synthesis
+
+
+@dataclass(frozen=True)
+class ProspectorConfig:
+    """Top-level knobs; the defaults replicate the paper's tool."""
+
+    public_only: bool = True
+    extraction: ExtractionConfig = ExtractionConfig()
+    search: SearchConfig = SearchConfig()
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    #: Collapse parallel jungloids to one representative (paper's
+    #: future-work suggestion; off by default to match the evaluation).
+    cluster_results: bool = False
+
+
+class Prospector:
+    """Jungloid synthesis over an API registry plus an optional corpus."""
+
+    def __init__(
+        self,
+        registry: TypeRegistry,
+        corpus: Optional[CorpusProgram] = None,
+        config: ProspectorConfig = ProspectorConfig(),
+    ):
+        self.registry = registry
+        self.config = config
+        self.corpus = corpus
+        if corpus is not None:
+            self.mining: Optional[MiningResult] = mine_corpus(
+                corpus.registry,
+                corpus.units,
+                corpus.corpus_types,
+                config=config.extraction,
+            )
+            mined = self.mining.suffixes
+        else:
+            self.mining = None
+            mined = []
+        self.graph = JungloidGraph.build(
+            registry, mined, public_only=config.public_only
+        )
+        self.search = GraphSearch(
+            self.graph, cost_model=config.cost_model, config=config.search
+        )
+
+    # ------------------------------------------------------------------
+    # Construction conveniences
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_texts(
+        cls,
+        api_texts: Iterable[Tuple[str, str]],
+        corpus_texts: Iterable[Tuple[str, str]] = (),
+        config: ProspectorConfig = ProspectorConfig(),
+    ) -> "Prospector":
+        """Build from stub and corpus source texts."""
+        from ..apispec import load_api_texts
+
+        registry = load_api_texts(list(api_texts))
+        corpus_list = list(corpus_texts)
+        corpus = load_corpus_texts(registry, corpus_list) if corpus_list else None
+        return cls(registry, corpus, config)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def type(self, spec: TypeSpec):
+        """Resolve a type name against the API registry."""
+        return resolve_type_spec(self.registry, spec)
+
+    def query(self, t_in: TypeSpec, t_out: TypeSpec) -> List[Synthesis]:
+        """Answer a jungloid query; results are ranked best-first."""
+        q = Query.of(self.registry, t_in, t_out)
+        results = self.search.solve_multi([q.t_in], q.t_out)
+        return self._package(results)
+
+    def timed_query(
+        self, t_in: TypeSpec, t_out: TypeSpec
+    ) -> Tuple[List[Synthesis], float]:
+        """Run a query and report wall-clock seconds (Table 1's Time column)."""
+        start = time.perf_counter()
+        results = self.query(t_in, t_out)
+        return results, time.perf_counter() - start
+
+    def complete(self, context: CursorContext) -> List[Synthesis]:
+        """Content-assist entry: infer queries from the cursor context.
+
+        Runs the multi-source search (all visible variables plus ``void``)
+        in one pass, as Section 5 describes.
+        """
+        results = self.search.solve_multi(context.source_types(), context.target_type)
+        return self._package(results)
+
+    def _package(self, results) -> List[Synthesis]:
+        jungloids = [r.jungloid for r in results]
+        sources = [r.source_type for r in results]
+        if self.config.cluster_results:
+            keep = set(id(j) for j in representatives(jungloids))
+            pairs = [(j, s) for j, s in zip(jungloids, sources) if id(j) in keep]
+        else:
+            pairs = list(zip(jungloids, sources))
+        return [
+            Synthesis(rank=i + 1, jungloid=j, source_type=s)
+            for i, (j, s) in enumerate(pairs)
+        ]
+
+    # ------------------------------------------------------------------
+    # Section 4.3: Object/String argument suggestions
+    # ------------------------------------------------------------------
+
+    def _argument_examples(self) -> List[ArgumentExample]:
+        if self.corpus is None:
+            return []
+        cached = getattr(self, "_argument_examples_cache", None)
+        if cached is None:
+            cached = ArgumentMiner(
+                self.corpus.registry,
+                self.corpus.units,
+                self.corpus.corpus_types,
+            ).mine_arguments()
+            self._argument_examples_cache = cached
+        return cached
+
+    def suggest_arguments(
+        self, owner: TypeSpec, method_name: str, parameter_index: int = 0
+    ) -> List[ArgumentExample]:
+        """Mined suggestions for a weakly-typed (Object/String) parameter.
+
+        Section 4.3's extension: the corpus shows which values actually
+        flow into a parameter declared ``Object`` or ``String``; the
+        returned examples are ordered cheapest-chain first.
+        """
+        owner_type = resolve_type_spec(self.registry, owner)
+        matches = [
+            e
+            for e in self._argument_examples()
+            if e.method.name == method_name
+            and e.parameter_index == parameter_index
+            and (e.method.owner == owner_type
+                 or self.registry.is_subtype(owner_type, e.method.owner))
+        ]
+        matches.sort(key=lambda e: (self.config.cost_model.cost(e.jungloid),
+                                    e.jungloid.render_expression("x")))
+        return matches
+
+    def observed_argument_types(
+        self, owner: TypeSpec, method_name: str, parameter_index: int = 0
+    ) -> List[str]:
+        """The concrete types the corpus passes into the parameter —
+        Section 4.3's "refined type" for an Object/String parameter."""
+        return sorted(
+            {
+                str(e.jungloid.output_type)
+                for e in self.suggest_arguments(owner, method_name, parameter_index)
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Registry + graph + mining summary (Section 5 reporting)."""
+        info = {
+            "registry": self.registry.stats(),
+            "graph": graph_stats(self.graph).rows(),
+        }
+        if self.mining is not None:
+            info["mining"] = {
+                "examples": self.mining.example_count,
+                "suffixes": self.mining.suffix_count,
+                **self.mining.trimming_summary(),
+            }
+        return info

@@ -1,0 +1,55 @@
+"""Jungloid queries (Definition 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..typesystem import JavaType, TypeRegistry, VOID, is_reference
+
+TypeSpec = Union[str, JavaType]
+
+
+def resolve_type_spec(registry: TypeRegistry, spec: TypeSpec) -> JavaType:
+    """Accept a type object or a qualified/unique simple name string."""
+    if not isinstance(spec, str):
+        return spec
+    if spec == "void":
+        return VOID
+    if "." in spec:
+        return registry.lookup(spec)
+    matches = registry.lookup_simple(spec)
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise KeyError(f"unknown type {spec!r}")
+    raise KeyError(
+        f"ambiguous simple name {spec!r}: {', '.join(sorted(str(m) for m in matches))}"
+    )
+
+
+@dataclass(frozen=True)
+class Query:
+    """A jungloid query ``(t_in, t_out)``.
+
+    Both endpoints must be reference types; ``t_in`` may additionally be
+    ``void`` (compute the output from constructors/statics alone).
+    Primitive endpoints are rejected, as in the paper (footnote 4: an
+    ``int`` could mean anything).
+    """
+
+    t_in: JavaType
+    t_out: JavaType
+
+    def __post_init__(self) -> None:
+        if not (is_reference(self.t_in) or self.t_in == VOID):
+            raise ValueError(f"query input must be a reference type or void, got {self.t_in}")
+        if not is_reference(self.t_out):
+            raise ValueError(f"query output must be a reference type, got {self.t_out}")
+
+    @staticmethod
+    def of(registry: TypeRegistry, t_in: TypeSpec, t_out: TypeSpec) -> "Query":
+        return Query(resolve_type_spec(registry, t_in), resolve_type_spec(registry, t_out))
+
+    def __str__(self) -> str:
+        return f"({self.t_in}, {self.t_out})"

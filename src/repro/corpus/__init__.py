@@ -1,0 +1,5 @@
+"""Corpus loading utilities."""
+
+from .loader import CorpusProgram, clone_registry, load_corpus_files, load_corpus_texts
+
+__all__ = ["CorpusProgram", "clone_registry", "load_corpus_files", "load_corpus_texts"]

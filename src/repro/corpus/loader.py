@@ -1,0 +1,76 @@
+"""Corpus loading: parse, resolve, and check mini-Java client programs.
+
+A corpus is resolved against a **clone** of the API registry so client
+classes and members never leak into the synthesis graph (client methods
+must be inlined by mining, not offered as signature edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..graph import registry_from_dict, registry_to_dict
+from ..minijava import (
+    CheckReport,
+    CompilationUnit,
+    check_program,
+    parse_minijava,
+    resolve_program,
+)
+from ..typesystem import NamedType, TypeRegistry
+
+
+def clone_registry(registry: TypeRegistry) -> TypeRegistry:
+    """Deep-copy a registry via its serialized form."""
+    return registry_from_dict(registry_to_dict(registry))
+
+
+@dataclass
+class CorpusProgram:
+    """A resolved corpus: units, their registry, and the client types."""
+
+    units: List[CompilationUnit] = field(default_factory=list)
+    registry: TypeRegistry = field(default_factory=TypeRegistry)
+    corpus_types: List[NamedType] = field(default_factory=list)
+    check_report: Optional[CheckReport] = None
+
+    @property
+    def class_count(self) -> int:
+        return sum(len(u.classes) for u in self.units)
+
+    @property
+    def method_count(self) -> int:
+        return sum(len(c.methods) for u in self.units for c in u.classes)
+
+
+def load_corpus_texts(
+    api_registry: TypeRegistry,
+    texts: Iterable[Tuple[str, str]],
+    check: bool = True,
+) -> CorpusProgram:
+    """Parse and resolve ``(source_name, text)`` corpus files.
+
+    The returned program owns a cloned registry containing API + client
+    declarations; ``api_registry`` is left untouched.
+    """
+    registry = clone_registry(api_registry)
+    units = [parse_minijava(text, source) for source, text in texts]
+    corpus_types = resolve_program(registry, units)
+    report = check_program(registry, units) if check else None
+    if report is not None:
+        report.raise_if_failed()
+    return CorpusProgram(
+        units=units, registry=registry, corpus_types=corpus_types, check_report=report
+    )
+
+
+def load_corpus_files(
+    api_registry: TypeRegistry, paths: Iterable[str], check: bool = True
+) -> CorpusProgram:
+    """Load corpus ``.mj`` files from disk."""
+    texts = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            texts.append((str(path), handle.read()))
+    return load_corpus_texts(api_registry, texts, check=check)

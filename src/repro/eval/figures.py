@@ -1,0 +1,68 @@
+"""Text renderings of the paper's figures (for benchmark artifacts).
+
+Figure 8 is a per-problem scatter of coding times with mean ± one
+standard deviation; this module renders the same content as an ASCII
+chart so the benchmark run leaves a directly comparable artifact.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .userstudy import STUDY_PROBLEMS, UserStudyResult
+
+_WIDTH = 60
+
+
+def _scale(minutes: float, max_minutes: float) -> int:
+    if max_minutes <= 0:
+        return 0
+    return min(_WIDTH - 1, int(round(minutes / max_minutes * (_WIDTH - 1))))
+
+
+def _scatter_line(times: List[float], max_minutes: float, marker: str) -> str:
+    cells = [" "] * _WIDTH
+    for t in times:
+        index = _scale(t, max_minutes)
+        cells[index] = marker if cells[index] == " " else "*"
+    return "".join(cells)
+
+
+def _interval_line(mean: float, stdev: float, max_minutes: float) -> str:
+    cells = [" "] * _WIDTH
+    lo = _scale(max(0.0, mean - stdev), max_minutes)
+    hi = _scale(mean + stdev, max_minutes)
+    for i in range(lo, hi + 1):
+        cells[i] = "-"
+    cells[_scale(mean, max_minutes)] = "|"
+    return "".join(cells)
+
+
+def render_figure8(result: UserStudyResult) -> str:
+    """ASCII version of Figure 8: per-problem time scatter + mean ± σ."""
+    all_times = [a.minutes for a in result.attempts]
+    max_minutes = max(all_times) if all_times else 1.0
+    lines = [
+        "Figure 8: time spent coding (minutes); o = one user attempt,",
+        "          | = mean, ---- = one standard deviation interval",
+        f"scale: 0 {'.' * (_WIDTH - 12)} {max_minutes:.0f} min",
+        "",
+    ]
+    for problem in STUDY_PROBLEMS:
+        lines.append(f"P{problem.id} {problem.name}")
+        for with_tool, label in ((True, "with    "), (False, "without ")):
+            times = [
+                a.minutes
+                for a in result.attempts_for(problem.id, with_tool)
+            ]
+            mean = result.mean_minutes(problem.id, with_tool)
+            stdev = result.stdev_minutes(problem.id, with_tool)
+            lines.append(f"  {label}[{_scatter_line(times, max_minutes, 'o')}]")
+            lines.append(f"          [{_interval_line(mean, stdev, max_minutes)}]"
+                         f"  {mean:5.1f} ± {stdev:4.1f}")
+        lines.append("")
+    lines.append(
+        f"average per-user speedup: {result.average_speedup:.2f}x"
+        f" (paper: 1.9x); {result.users_faster_with}/{result.users} users faster"
+    )
+    return "\n".join(lines)

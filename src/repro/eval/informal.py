@@ -1,0 +1,293 @@
+"""The paper's informal studies, mechanized.
+
+Two small experiments from Sections 1, 3.2 and 6:
+
+1. **Stuck-case classification.** "An informal study of 16 cases where a
+   programmer got stuck attempting reuse found that in 9 cases the
+   desired code was a jungloid, and in 3 others the desired code could be
+   decomposed into multiple jungloids" — and Section 6 adds that 12 of 16
+   were expressible as jungloid queries. We encode 16 stuck cases as
+   mini-Java methods whose body is the *desired* code, and classify each
+   by analyzing its data-flow shape: a linear unary chain is a JUNGLOID;
+   a tree whose joins are all method arguments decomposes into MULTIPLE
+   jungloids; anything needing loops/conditionals is OTHER.
+
+2. **Arbitrary-shortest-path prototype.** "In an informal test of an
+   early prototype … that returned an arbitrarily chosen shortest
+   jungloid, the result satisfied the programmer's intent in 9 trials
+   out of 10." We replay 10 Table-1 queries, take only the top-ranked
+   result, and count oracle hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core import Prospector
+from ..minijava.ast import (
+    BinaryExpr,
+    CallExpr,
+    CastExpr,
+    Expr,
+    FieldAccessExpr,
+    IfStmt,
+    LocalVarDecl,
+    MethodDecl,
+    NewExpr,
+    ReturnStmt,
+    StringLit,
+    UnaryExpr,
+    VarRef,
+    WhileStmt,
+    walk_statements,
+)
+from ..minijava.parser import parse_minijava
+from .problems import TABLE1_PROBLEMS, problem_by_id
+
+JUNGLOID = "jungloid"
+MULTIPLE = "multiple-jungloids"
+OTHER = "other"
+
+
+@dataclass(frozen=True)
+class StuckCase:
+    """One reuse attempt where a programmer got stuck, with desired code."""
+
+    id: int
+    description: str
+    code: str  # a mini-Java class with a single method holding the code
+    expected: str  # JUNGLOID / MULTIPLE / OTHER
+
+
+def classify_method(method: MethodDecl) -> str:
+    """Classify the desired code's data-flow shape.
+
+    Loops or conditionals ⇒ OTHER (a jungloid has no control flow). A
+    single expression chain in which every call/constructor has at most
+    one compound argument ⇒ JUNGLOID. Otherwise the code splits into
+    several chains (multi-input calls, several statements feeding one
+    call) ⇒ MULTIPLE.
+    """
+    if method.body is None:
+        return OTHER
+    for stmt in walk_statements(method.body):
+        if isinstance(stmt, (IfStmt, WhileStmt)):
+            return OTHER
+    ret = _single_return(method)
+    if ret is None:
+        return OTHER
+    expr = _inline_locals(method, ret)
+    joins = _count_joins(expr)
+    return JUNGLOID if joins == 0 else MULTIPLE
+
+
+def _single_return(method: MethodDecl) -> Optional[Expr]:
+    returns = [
+        s.value
+        for s in walk_statements(method.body)
+        if isinstance(s, ReturnStmt) and s.value is not None
+    ]
+    return returns[0] if len(returns) == 1 else None
+
+
+def _inline_locals(method: MethodDecl, expr: Expr) -> Expr:
+    """Substitute single-assignment locals into the expression tree."""
+    defs = {}
+    for stmt in walk_statements(method.body):
+        if isinstance(stmt, LocalVarDecl) and stmt.init is not None:
+            defs[stmt.name] = stmt.init
+
+    def subst(e: Expr, depth: int = 0) -> Expr:
+        if depth > 32:
+            return e
+        if isinstance(e, VarRef) and e.name in defs:
+            return subst(defs[e.name], depth + 1)
+        if isinstance(e, FieldAccessExpr):
+            e.receiver = subst(e.receiver, depth + 1)
+        elif isinstance(e, CallExpr):
+            if e.receiver is not None:
+                e.receiver = subst(e.receiver, depth + 1)
+            e.args = [subst(a, depth + 1) for a in e.args]
+        elif isinstance(e, NewExpr):
+            e.args = [subst(a, depth + 1) for a in e.args]
+        elif isinstance(e, CastExpr):
+            e.operand = subst(e.operand, depth + 1)
+        return e
+
+    return subst(expr)
+
+
+def _is_compound(e: Expr) -> bool:
+    """Does this argument carry its own computation (vs. a leaf input)?"""
+    return isinstance(e, (CallExpr, NewExpr, CastExpr, FieldAccessExpr, BinaryExpr, UnaryExpr))
+
+
+def _count_joins(expr: Expr) -> int:
+    """Number of nodes where two or more computed data flows converge."""
+    joins = 0
+
+    def visit(e: Expr) -> None:
+        nonlocal joins
+        children: List[Expr] = []
+        if isinstance(e, CallExpr):
+            if e.receiver is not None:
+                children.append(e.receiver)
+            children.extend(e.args)
+        elif isinstance(e, NewExpr):
+            children.extend(e.args)
+        elif isinstance(e, CastExpr):
+            children.append(e.operand)
+        elif isinstance(e, FieldAccessExpr):
+            children.append(e.receiver)
+        elif isinstance(e, (BinaryExpr, UnaryExpr)):
+            joins += 1  # operators are outside the jungloid language
+            return
+        compound = [c for c in children if _is_compound(c)]
+        if len(compound) > 1:
+            joins += 1
+        for c in children:
+            visit(c)
+
+    visit(expr)
+    return joins
+
+
+def _case(id_: int, description: str, expected: str, body: str, signature: str) -> StuckCase:
+    code = f"public class Case{id_} {{\n  public {signature} {{\n{body}\n  }}\n}}\n"
+    return StuckCase(id_, description, code, expected)
+
+
+#: The 16 stuck cases: 9 jungloids, 3 decomposable, 4 other — the split
+#: the paper reports. The code uses only parse-level analysis, so the
+#: snippets don't need to resolve against the stub registry.
+STUCK_CASES: Tuple[StuckCase, ...] = (
+    _case(1, "parse Java source from a file handle", JUNGLOID,
+          "    return AST.parseCompilationUnit(JavaCore.createCompilationUnitFrom(file), false);",
+          "Object parse(Object file)"),
+    _case(2, "buffered reader over an input stream", JUNGLOID,
+          "    return new BufferedReader(new InputStreamReader(in));",
+          "Object read(Object in)"),
+    _case(3, "active editor from the workbench", JUNGLOID,
+          "    return wb.getActiveWorkbenchWindow().getActivePage().getActiveEditor();",
+          "Object editor(Object wb)"),
+    _case(4, "selected watch expression from debugger", JUNGLOID,
+          "    return ((JavaInspectExpression) ((IStructuredSelection) debugger.getViewer().getSelection()).getFirstElement());",
+          "Object selected(Object debugger)"),
+    _case(5, "enumeration wrapped as iterator", JUNGLOID,
+          "    return IteratorUtils.asIterator(e);",
+          "Object convert(Object e)"),
+    _case(6, "memory-map a named file", JUNGLOID,
+          "    return new FileInputStream(name).getChannel().map(mode, position, size);",
+          "Object map(String name, Object mode, long position, long size)"),
+    _case(7, "table widget behind a viewer", JUNGLOID,
+          "    return viewer.getTable();",
+          "Object table(Object viewer)"),
+    _case(8, "selection service of an editor site", JUNGLOID,
+          "    return site.getWorkbenchWindow().getSelectionService();",
+          "Object service(Object site)"),
+    _case(9, "figure canvas of a GEF viewer", JUNGLOID,
+          "    return (FigureCanvas) viewer.getControl();",
+          "Object canvas(Object viewer)"),
+    _case(10, "document provider for an editor input", MULTIPLE,
+          "    return DocumentProviderRegistry.getDefault().getDocumentProvider(editor.getEditorInput());",
+          "Object provider(Object editor)"),
+    _case(11, "message box on the active shell with computed style", MULTIPLE,
+          "    return new MessageBox(window.getShell(), computeStyle(flags));",
+          "Object dialog(Object window, Object flags)"),
+    _case(12, "table column on a viewer's table", MULTIPLE,
+          "    return new TableColumn(viewer.getTable(), style.intValue());",
+          "Object column(Object viewer, Object style)"),
+    _case(13, "concatenate all lines of a reader", OTHER,
+          "    String text = reader.readLine();\n    while (text != null) {\n      text = reader.readLine();\n    }\n    return text;",
+          "String drain(BufferedReader reader)"),
+    _case(14, "find the view with a matching name", OTHER,
+          "    if (page.findView(id) != null) {\n      return page.findView(id);\n    }\n    return page.showView(id);",
+          "Object view(Object page, String id)"),
+    _case(15, "count selected elements per type", OTHER,
+          "    int n = 0;\n    while (it.hasNext()) {\n      n = n + 1;\n    }\n    return new Integer(n);",
+          "Object count(Iterator it)"),
+    _case(16, "dispose every child control", OTHER,
+          "    Control[] children = parent.getChildren();\n    int i = 0;\n    while (i < children.length) {\n      i = i + 1;\n    }\n    return parent;",
+          "Object disposeAll(Object parent)"),
+)
+
+
+@dataclass
+class StuckCaseReport:
+    rows: List[Tuple[StuckCase, str]]
+
+    @property
+    def jungloid_count(self) -> int:
+        return sum(1 for _, c in self.rows if c == JUNGLOID)
+
+    @property
+    def multiple_count(self) -> int:
+        return sum(1 for _, c in self.rows if c == MULTIPLE)
+
+    @property
+    def other_count(self) -> int:
+        return sum(1 for _, c in self.rows if c == OTHER)
+
+    @property
+    def expressible_count(self) -> int:
+        """Cases expressible as jungloid queries (single or decomposed)."""
+        return self.jungloid_count + self.multiple_count
+
+    @property
+    def all_match_expected(self) -> bool:
+        return all(case.expected == c for case, c in self.rows)
+
+    def format_report(self) -> str:
+        lines = [f"{'case':<44} {'classified':<20} {'expected':<20}"]
+        for case, c in self.rows:
+            lines.append(f"{case.id:>2} {case.description:<41} {c:<20} {case.expected:<20}")
+        lines.append(
+            f"jungloid {self.jungloid_count}/16 (paper 9), decomposable "
+            f"{self.multiple_count}/16 (paper 3), expressible "
+            f"{self.expressible_count}/16 (paper 12)"
+        )
+        return "\n".join(lines)
+
+
+def classify_stuck_cases(cases: Sequence[StuckCase] = STUCK_CASES) -> StuckCaseReport:
+    rows = []
+    for case in cases:
+        unit = parse_minijava(case.code, f"case{case.id}.mj")
+        method = unit.classes[0].methods[0]
+        rows.append((case, classify_method(method)))
+    return StuckCaseReport(rows)
+
+
+#: The 10 queries replayed for the shortest-path prototype test.
+PROTOTYPE_PROBLEM_IDS = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+
+
+@dataclass
+class PrototypeReport:
+    hits: int
+    trials: int
+    rows: List[Tuple[int, bool]]
+
+    def format_report(self) -> str:
+        lines = [
+            f"arbitrary-shortest-jungloid prototype: {self.hits}/{self.trials}"
+            " top-ranked answers satisfied intent (paper: 9/10)"
+        ]
+        for pid, hit in self.rows:
+            lines.append(f"  problem {pid}: {'hit' if hit else 'miss'}")
+        return "\n".join(lines)
+
+
+def run_prototype_test(
+    prospector: Prospector, problem_ids: Sequence[int] = PROTOTYPE_PROBLEM_IDS
+) -> PrototypeReport:
+    rows = []
+    hits = 0
+    for pid in problem_ids:
+        problem = problem_by_id(pid)
+        results = prospector.query(problem.t_in, problem.t_out)
+        hit = bool(results) and problem.oracle.matches(results[0].jungloid)
+        hits += hit
+        rows.append((pid, hit))
+    return PrototypeReport(hits=hits, trials=len(rows), rows=rows)

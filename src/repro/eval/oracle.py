@@ -1,0 +1,66 @@
+"""Solution oracles: deciding whether a synthesized jungloid is "the
+desired solution" of a Table-1 problem.
+
+The paper's testers read the ranked list until they recognized the
+desired code. We mechanize that with *chain signatures*: a jungloid's
+sequence of non-widening steps, each identified by member owner + name
+(or constructor / cast target). Signatures are insensitive to free
+variable naming and to widening steps, so they match what a human
+recognizes as "the same code".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..jungloids import ElementaryKind, Jungloid
+
+
+def step_signature(step) -> str:
+    if step.kind is ElementaryKind.DOWNCAST:
+        simple = getattr(step.output_type, "simple", None) or str(step.output_type)
+        return f"cast {simple}"
+    if step.kind is ElementaryKind.CONSTRUCTOR:
+        owner = step.member.owner
+        simple = getattr(owner, "simple", None) or str(owner)
+        return f"new {simple}"
+    if step.kind is ElementaryKind.FIELD_ACCESS:
+        owner = step.member.owner
+        simple = getattr(owner, "simple", None) or str(owner)
+        return f"{simple}.{step.member.name}"
+    # Static or instance call.
+    owner = step.member.owner
+    simple = getattr(owner, "simple", None) or str(owner)
+    return f"{simple}.{step.member.name}"
+
+
+def chain_signature(jungloid: Jungloid) -> Tuple[str, ...]:
+    """The recognizable call chain: non-widening steps, in order."""
+    return tuple(step_signature(s) for s in jungloid.steps if not s.is_widening)
+
+
+@dataclass(frozen=True)
+class SolutionOracle:
+    """Accepts a jungloid if its chain signature matches any alternative."""
+
+    alternatives: Tuple[Tuple[str, ...], ...]
+
+    @staticmethod
+    def of(*alternatives: Sequence[str]) -> "SolutionOracle":
+        return SolutionOracle(tuple(tuple(a) for a in alternatives))
+
+    @staticmethod
+    def none() -> "SolutionOracle":
+        """An oracle that accepts nothing (problems expected to fail)."""
+        return SolutionOracle(())
+
+    def matches(self, jungloid: Jungloid) -> bool:
+        return chain_signature(jungloid) in self.alternatives
+
+    def rank_in(self, jungloids: Sequence[Jungloid]) -> Optional[int]:
+        """1-based rank of the first match, or None if absent."""
+        for i, j in enumerate(jungloids):
+            if self.matches(j):
+                return i + 1
+        return None

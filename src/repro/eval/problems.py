@@ -1,0 +1,278 @@
+"""The 20 query-processing problems of Table 1.
+
+Each problem records the paper's query, the paper's reported rank (or
+``None`` for the two failures), and an oracle recognizing the desired
+solution in our stub universe. The two failures are modeled for the
+paper's stated reasons: the GEF problem needs a *protected* method, and
+the workspace problem's desired jungloid is crowded out by parallel
+jungloids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .oracle import SolutionOracle
+
+
+@dataclass(frozen=True)
+class Table1Problem:
+    """One row of Table 1."""
+
+    id: int
+    description: str
+    attribution: str  # who reported it in the paper
+    t_in: str
+    t_out: str
+    paper_time_s: float
+    paper_rank: Optional[int]  # None = "No"
+    oracle: SolutionOracle
+    needs_mining: bool = False
+    failure_reason: Optional[str] = None
+
+
+TABLE1_PROBLEMS: Tuple[Table1Problem, ...] = (
+    Table1Problem(
+        1,
+        "Read lines from an input stream",
+        "Tester",
+        "java.io.InputStream",
+        "java.io.BufferedReader",
+        0.32,
+        1,
+        SolutionOracle.of(["new InputStreamReader", "new BufferedReader"]),
+    ),
+    Table1Problem(
+        2,
+        "Open a named file for memory-mapped I/O",
+        "Almanac",
+        "java.lang.String",
+        "java.nio.MappedByteBuffer",
+        0.17,
+        1,
+        SolutionOracle.of(
+            ["new FileInputStream", "FileInputStream.getChannel", "FileChannel.map"],
+            ["new RandomAccessFile", "RandomAccessFile.getChannel", "FileChannel.map"],
+        ),
+    ),
+    Table1Problem(
+        3,
+        "Get table widget from an Eclipse view",
+        "FAQs",
+        "org.eclipse.jface.viewers.TableViewer",
+        "org.eclipse.swt.widgets.Table",
+        0.04,
+        1,
+        SolutionOracle.of(["TableViewer.getTable"]),
+    ),
+    Table1Problem(
+        4,
+        "Get the active editor",
+        "Eclipse FAQs",
+        "org.eclipse.ui.IWorkbench",
+        "org.eclipse.ui.IEditorPart",
+        0.16,
+        1,
+        SolutionOracle.of(
+            [
+                "IWorkbench.getActiveWorkbenchWindow",
+                "IWorkbenchWindow.getActivePage",
+                "IWorkbenchPage.getActiveEditor",
+            ]
+        ),
+    ),
+    Table1Problem(
+        5,
+        "Retrieve canvas from scrolling viewer",
+        "Author",
+        "org.eclipse.gef.ui.parts.ScrollingGraphicalViewer",
+        "org.eclipse.draw2d.FigureCanvas",
+        0.08,
+        1,
+        SolutionOracle.of(["EditPartViewer.getControl", "cast FigureCanvas"]),
+        needs_mining=True,
+    ),
+    Table1Problem(
+        6,
+        "Get window for MessageBox",
+        "Author",
+        "org.eclipse.swt.events.KeyEvent",
+        "org.eclipse.swt.widgets.Shell",
+        0.09,
+        1,
+        SolutionOracle.of(
+            ["TypedEvent.display", "Display.getActiveShell"],
+            ["TypedEvent.widget", "cast Control", "Control.getShell"],
+        ),
+    ),
+    Table1Problem(
+        7,
+        "Convert legacy class",
+        "Author",
+        "java.util.Enumeration",
+        "java.util.Iterator",
+        0.06,
+        1,
+        SolutionOracle.of(["IteratorUtils.asIterator"]),
+    ),
+    Table1Problem(
+        8,
+        "Get selection from event",
+        "Author",
+        "org.eclipse.jface.viewers.SelectionChangedEvent",
+        "org.eclipse.jface.viewers.ISelection",
+        0.02,
+        1,
+        SolutionOracle.of(["SelectionChangedEvent.getSelection"]),
+    ),
+    Table1Problem(
+        9,
+        "Get image handle for lazy image loading",
+        "Tester",
+        "org.eclipse.jface.resource.ImageRegistry",
+        "org.eclipse.jface.resource.ImageDescriptor",
+        0.08,
+        1,
+        SolutionOracle.of(["ImageRegistry.getDescriptor"]),
+    ),
+    Table1Problem(
+        10,
+        "Iterate over map values",
+        "Tester",
+        "java.util.Map",
+        "java.util.Iterator",
+        0.17,
+        1,
+        SolutionOracle.of(["Map.values", "Collection.iterator"]),
+    ),
+    Table1Problem(
+        11,
+        "Add menu bars to a view",
+        "Eclipse FAQs",
+        "org.eclipse.ui.IViewPart",
+        "org.eclipse.jface.action.MenuManager",
+        0.21,
+        1,
+        SolutionOracle.of(
+            [
+                "IViewPart.getViewSite",
+                "IViewSite.getActionBars",
+                "IActionBars.getMenuManager",
+                "cast MenuManager",
+            ]
+        ),
+        needs_mining=True,
+    ),
+    Table1Problem(
+        12,
+        "Set captions on table columns",
+        "Author",
+        "org.eclipse.jface.viewers.TableViewer",
+        "org.eclipse.swt.widgets.TableColumn",
+        0.37,
+        2,
+        SolutionOracle.of(["TableViewer.getTable", "new TableColumn"]),
+    ),
+    Table1Problem(
+        13,
+        "Track selection changes in another widget",
+        "Eclipse FAQs",
+        "org.eclipse.ui.IEditorSite",
+        "org.eclipse.ui.ISelectionService",
+        0.01,
+        2,
+        SolutionOracle.of(
+            ["IWorkbenchPartSite.getWorkbenchWindow", "IWorkbenchWindow.getSelectionService"]
+        ),
+    ),
+    Table1Problem(
+        14,
+        "Read lines from a file",
+        "Almanac",
+        "java.lang.String",
+        "java.io.BufferedReader",
+        0.17,
+        3,
+        SolutionOracle.of(["new FileReader", "new BufferedReader"]),
+    ),
+    Table1Problem(
+        15,
+        "Find out what object is selected",
+        "Eclipse FAQs",
+        "org.eclipse.ui.IWorkbenchPage",
+        "org.eclipse.jface.viewers.IStructuredSelection",
+        0.15,
+        3,
+        SolutionOracle.of(["IWorkbenchPage.getSelection", "cast IStructuredSelection"]),
+        needs_mining=True,
+    ),
+    Table1Problem(
+        16,
+        "Manipulate document of visual editor",
+        "Eclipse FAQs",
+        "org.eclipse.ui.IWorkbenchPage",
+        "org.eclipse.ui.texteditor.IDocumentProvider",
+        1.07,
+        3,
+        SolutionOracle.of(
+            [
+                "IWorkbenchPage.getActiveEditor",
+                "cast ITextEditor",
+                "ITextEditor.getDocumentProvider",
+            ]
+        ),
+        needs_mining=True,
+    ),
+    Table1Problem(
+        17,
+        "Convert file handle to file name",
+        "Author",
+        "org.eclipse.core.resources.IFile",
+        "java.lang.String",
+        0.11,
+        4,
+        SolutionOracle.of(["IResource.getName"]),
+    ),
+    Table1Problem(
+        18,
+        "Get an Eclipse view by name",
+        "Eclipse FAQs",
+        "org.eclipse.ui.IWorkbenchWindow",
+        "org.eclipse.ui.IViewPart",
+        0.61,
+        4,
+        SolutionOracle.of(["IWorkbenchWindow.getActivePage", "IWorkbenchPage.findView"]),
+    ),
+    Table1Problem(
+        19,
+        "Set graph edge routing algorithm",
+        "Author",
+        "org.eclipse.gef.editparts.AbstractGraphicalEditPart",
+        "org.eclipse.draw2d.ConnectionLayer",
+        0.08,
+        None,
+        SolutionOracle.none(),
+        failure_reason="desired jungloid calls a protected method (getLayer)",
+    ),
+    Table1Problem(
+        20,
+        "Retrieve file from workspace",
+        "Author",
+        "org.eclipse.core.resources.IWorkspace",
+        "org.eclipse.core.resources.IFile",
+        0.59,
+        None,
+        SolutionOracle.of(
+            ["IWorkspace.getRoot", "IWorkspaceRoot.getProject", "IProject.getFile"]
+        ),
+        failure_reason="desired jungloid crowded out by similar parallel jungloids",
+    ),
+)
+
+
+def problem_by_id(problem_id: int) -> Table1Problem:
+    for p in TABLE1_PROBLEMS:
+        if p.id == problem_id:
+            return p
+    raise KeyError(f"no Table-1 problem with id {problem_id}")

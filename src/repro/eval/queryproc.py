@@ -1,0 +1,130 @@
+"""The query-processing experiment (Section 6/7, Table 1).
+
+Runs each of the 20 problems against a PROSPECTOR instance, records the
+query time and the rank at which the oracle recognizes the desired
+solution, and summarizes exactly the quantities the paper reports:
+problems solved, rank-1 count, the all-found-within bound, and average
+query time.
+
+A problem counts as *found* when the desired solution appears within
+``read_limit`` results — the bound within which every successful paper
+query was found ("fewer than 5"). Problem 20's desired jungloid is
+synthesized but buried among parallel jungloids, so it falls outside the
+limit, reproducing the paper's "No" for the paper's stated reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core import Prospector
+from .problems import TABLE1_PROBLEMS, Table1Problem
+
+#: Every found solution in the paper was at rank < 5.
+DEFAULT_READ_LIMIT = 5
+
+
+@dataclass(frozen=True)
+class QueryProcessingRow:
+    """One measured row of Table 1."""
+
+    problem: Table1Problem
+    time_s: float
+    result_count: int
+    full_rank: Optional[int]  # rank anywhere in the returned list
+    rank: Optional[int]  # rank if within the read limit, else None
+
+    @property
+    def found(self) -> bool:
+        return self.rank is not None
+
+    @property
+    def matches_paper_found(self) -> bool:
+        return self.found == (self.problem.paper_rank is not None)
+
+    def rank_display(self) -> str:
+        return str(self.rank) if self.rank is not None else "No"
+
+    def paper_rank_display(self) -> str:
+        return str(self.problem.paper_rank) if self.problem.paper_rank is not None else "No"
+
+
+@dataclass
+class QueryProcessingReport:
+    rows: List[QueryProcessingRow] = field(default_factory=list)
+    read_limit: int = DEFAULT_READ_LIMIT
+
+    @property
+    def found_count(self) -> int:
+        return sum(1 for r in self.rows if r.found)
+
+    @property
+    def rank1_count(self) -> int:
+        return sum(1 for r in self.rows if r.rank == 1)
+
+    @property
+    def max_found_rank(self) -> int:
+        ranks = [r.rank for r in self.rows if r.rank is not None]
+        return max(ranks) if ranks else 0
+
+    @property
+    def average_time_s(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(r.time_s for r in self.rows) / len(self.rows)
+
+    @property
+    def agreement_count(self) -> int:
+        """Problems whose found/not-found outcome matches the paper."""
+        return sum(1 for r in self.rows if r.matches_paper_found)
+
+    def format_table(self) -> str:
+        """Render in the layout of the paper's Table 1."""
+        header = (
+            f"{'Programming problem':<48} {'t_in':<28} {'t_out':<24}"
+            f" {'Time(s)':>8} {'Rank':>5} {'Paper':>6}"
+        )
+        lines = [header, "-" * len(header)]
+        for r in self.rows:
+            p = r.problem
+            lines.append(
+                f"{p.description + ' (' + p.attribution + ')':<48}"
+                f" {p.t_in.rsplit('.', 1)[-1]:<28} {p.t_out.rsplit('.', 1)[-1]:<24}"
+                f" {r.time_s:>8.3f} {r.rank_display():>5} {r.paper_rank_display():>6}"
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            f"found {self.found_count}/{len(self.rows)}  rank-1 {self.rank1_count}"
+            f"  max-found-rank {self.max_found_rank}"
+            f"  avg time {self.average_time_s:.3f}s"
+            f"  paper-agreement {self.agreement_count}/{len(self.rows)}"
+        )
+        return "\n".join(lines)
+
+
+def run_problem(
+    prospector: Prospector, problem: Table1Problem, read_limit: int = DEFAULT_READ_LIMIT
+) -> QueryProcessingRow:
+    results, seconds = prospector.timed_query(problem.t_in, problem.t_out)
+    jungloids = [r.jungloid for r in results]
+    full_rank = problem.oracle.rank_in(jungloids)
+    rank = full_rank if full_rank is not None and full_rank <= read_limit else None
+    return QueryProcessingRow(
+        problem=problem,
+        time_s=seconds,
+        result_count=len(results),
+        full_rank=full_rank,
+        rank=rank,
+    )
+
+
+def run_table1(
+    prospector: Prospector,
+    problems: Sequence[Table1Problem] = TABLE1_PROBLEMS,
+    read_limit: int = DEFAULT_READ_LIMIT,
+) -> QueryProcessingReport:
+    report = QueryProcessingReport(read_limit=read_limit)
+    for problem in problems:
+        report.rows.append(run_problem(prospector, problem, read_limit))
+    return report

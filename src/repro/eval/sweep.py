@@ -1,0 +1,110 @@
+"""Query sweep: answerability across the whole API surface.
+
+Section 5 reports timings over "a variety of queries"; this experiment
+systematizes that by sweeping a deterministic sample of (t_in, t_out)
+pairs over all declared reference types and recording, per query:
+whether it is answerable, how many jungloids come back, the shortest
+solution cost, and the latency. The summary characterizes the graph's
+connectivity — how often *some* jungloid exists between two arbitrary
+types — which is the background fact making ranking (not search)
+the hard part of the problem.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core import Prospector
+from ..typesystem import NamedType
+
+
+@dataclass(frozen=True)
+class SweepQuery:
+    t_in: str
+    t_out: str
+    answerable: bool
+    result_count: int
+    shortest_cost: Optional[int]
+    seconds: float
+
+
+@dataclass
+class SweepReport:
+    queries: List[SweepQuery] = field(default_factory=list)
+    seed: int = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.queries)
+
+    @property
+    def answerable_count(self) -> int:
+        return sum(1 for q in self.queries if q.answerable)
+
+    @property
+    def answerable_fraction(self) -> float:
+        return self.answerable_count / self.total if self.total else 0.0
+
+    @property
+    def mean_results(self) -> float:
+        answered = [q.result_count for q in self.queries if q.answerable]
+        return sum(answered) / len(answered) if answered else 0.0
+
+    @property
+    def max_seconds(self) -> float:
+        return max((q.seconds for q in self.queries), default=0.0)
+
+    def cost_histogram(self) -> List[Tuple[int, int]]:
+        counts = {}
+        for q in self.queries:
+            if q.shortest_cost is not None:
+                counts[q.shortest_cost] = counts.get(q.shortest_cost, 0) + 1
+        return sorted(counts.items())
+
+    def format_report(self) -> str:
+        lines = [
+            f"query sweep: {self.total} random (t_in, t_out) pairs, seed {self.seed}",
+            f"  answerable: {self.answerable_count}/{self.total}"
+            f" ({self.answerable_fraction * 100:.0f}%)",
+            f"  mean results per answerable query: {self.mean_results:.1f}",
+            f"  max latency: {self.max_seconds * 1000:.1f} ms",
+            "  shortest-cost histogram:",
+        ]
+        for cost, count in self.cost_histogram():
+            lines.append(f"    cost {cost:>2}: {'#' * min(count, 60)} {count}")
+        return "\n".join(lines)
+
+
+def run_query_sweep(
+    prospector: Prospector, samples: int = 200, seed: int = 20050612
+) -> SweepReport:
+    """Sweep ``samples`` deterministic random type pairs."""
+    rng = random.Random(seed)
+    types: List[NamedType] = sorted(
+        (t for t in prospector.registry.all_types() if t != prospector.registry.object_type),
+        key=lambda t: t.name,
+    )
+    report = SweepReport(seed=seed)
+    for _ in range(samples):
+        t_in = rng.choice(types)
+        t_out = rng.choice(types)
+        if t_in == t_out:
+            continue
+        start = time.perf_counter()
+        results = prospector.query(t_in, t_out)
+        seconds = time.perf_counter() - start
+        shortest = prospector.search.shortest_cost(t_in, t_out)
+        report.queries.append(
+            SweepQuery(
+                t_in=str(t_in),
+                t_out=str(t_out),
+                answerable=bool(results),
+                result_count=len(results),
+                shortest_cost=shortest if results else None,
+                seconds=seconds,
+            )
+        )
+    return report

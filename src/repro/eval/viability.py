@@ -1,0 +1,102 @@
+"""Viability measurement: executing synthesized jungloids (§3.2/§4.1/§4.2).
+
+Three of the paper's empirical claims are about run-time behavior:
+
+1. "usually the top-ranked jungloids return a non-null value without
+   throwing an exception" (Section 3.2);
+2. example jungloids mined from working corpus code "are almost always
+   viable" (Section 4.2);
+3. adding all downcast edges to the signature graph yields jungloids
+   that "always throw ClassCastException" (Section 4.1).
+
+This module measures all three by running jungloids on the mock runtime
+(:mod:`repro.runtime`) under the Eclipse behavior model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import Prospector
+from ..graph import SignatureGraph
+from ..jungloids import Jungloid
+from ..mining import ExampleJungloid
+from ..runtime import Outcome, Runtime, eclipse_behavior_model
+from ..search import GraphSearch
+from .problems import TABLE1_PROBLEMS, Table1Problem
+
+
+@dataclass
+class ViabilityReport:
+    """Outcome tallies for one population of jungloids."""
+
+    label: str
+    counts: Dict[Outcome, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def viable(self) -> int:
+        return self.counts.get(Outcome.VIABLE, 0)
+
+    @property
+    def cast_failures(self) -> int:
+        return self.counts.get(Outcome.CLASS_CAST, 0)
+
+    @property
+    def viability_rate(self) -> float:
+        return self.viable / self.total if self.total else 0.0
+
+    def add(self, outcome: Outcome) -> None:
+        self.counts[outcome] = self.counts.get(outcome, 0) + 1
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{k.value}={v}" for k, v in sorted(self.counts.items(), key=lambda kv: kv[0].value))
+        return f"{self.label}: {self.viable}/{self.total} viable ({parts})"
+
+
+def measure_top_results(
+    prospector: Prospector,
+    problems: Sequence[Table1Problem] = TABLE1_PROBLEMS,
+    top_k: int = 3,
+    runtime: Optional[Runtime] = None,
+) -> ViabilityReport:
+    """Claim 1: execute the top-k results of every answerable query."""
+    runtime = runtime or Runtime(eclipse_behavior_model(prospector.registry))
+    report = ViabilityReport(f"top-{top_k} ranked results")
+    for problem in problems:
+        for result in prospector.query(problem.t_in, problem.t_out)[:top_k]:
+            report.add(runtime.execute(result.jungloid).outcome)
+    return report
+
+
+def measure_mined_examples(
+    registry, examples: Sequence[ExampleJungloid], runtime: Optional[Runtime] = None
+) -> ViabilityReport:
+    """Claim 2: execute every example jungloid mined from the corpus."""
+    runtime = runtime or Runtime(eclipse_behavior_model(registry))
+    report = ViabilityReport("mined example jungloids")
+    for example in examples:
+        report.add(runtime.execute(example.jungloid).outcome)
+    return report
+
+
+def measure_downcast_ablation(
+    registry,
+    t_in: str,
+    t_out: str,
+    top_k: int = 10,
+    runtime: Optional[Runtime] = None,
+) -> Tuple[ViabilityReport, List[Jungloid]]:
+    """Claim 3: execute the top results of the all-downcast-edges graph."""
+    runtime = runtime or Runtime(eclipse_behavior_model(registry))
+    graph = SignatureGraph.from_registry(registry, include_downcasts=True)
+    search = GraphSearch(graph)
+    results = search.solve(registry.lookup(t_in), registry.lookup(t_out))[:top_k]
+    report = ViabilityReport("all-downcast-edges ablation (top results)")
+    for j in results:
+        report.add(runtime.execute(j).outcome)
+    return report, results

@@ -1,0 +1,116 @@
+"""DOT (Graphviz) export — regenerates the paper's graph figures.
+
+Figure 1 (part of the signature graph), Figure 3 (the downcast-edge
+blow-up), and Figure 6 (typestate nodes for a mined example) are all
+neighborhood renderings of our graphs; this module produces the DOT text
+the benchmarks write out.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Set
+
+from .nodes import Edge, Node, TypestateNode, node_label
+from .signature_graph import SignatureGraph
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def _edge_label(edge: Edge) -> str:
+    e = edge.elementary
+    if e.is_widening:
+        return "widen"
+    if e.is_downcast:
+        return f"({e.output_type})"
+    member = e.member
+    name = getattr(member, "name", None)
+    if name is None:
+        return f"new {e.output_type}"
+    return name
+
+
+def _simple_label(node: Node) -> str:
+    if isinstance(node, TypestateNode):
+        return node.tag
+    simple = getattr(node, "simple", None)
+    return simple if simple is not None else str(node)
+
+
+def subgraph_dot(
+    graph: SignatureGraph,
+    roots: Sequence[Node],
+    radius: int = 1,
+    highlight: Iterable[Edge] = (),
+    title: Optional[str] = None,
+    max_nodes: int = 60,
+) -> str:
+    """DOT text for the neighborhood of ``roots`` within ``radius`` hops.
+
+    ``highlight`` edges are drawn bold (the paper bolds the parsing
+    jungloid in Figure 1).
+    """
+    selected: Set[Node] = set()
+    frontier = [r for r in roots if graph.has_node(r)]
+    selected.update(frontier)
+    for _ in range(radius):
+        next_frontier = []
+        for node in frontier:
+            for edge in graph.out_edges(node) + graph.in_edges(node):
+                for n in (edge.source, edge.target):
+                    if n not in selected and len(selected) < max_nodes:
+                        selected.add(n)
+                        next_frontier.append(n)
+        frontier = next_frontier
+    highlight_set = set(id(e) for e in highlight)
+    # Also match highlight edges structurally so callers can pass fresh Edge objects.
+    structural_highlight = {(node_label(e.source), node_label(e.target), _edge_label(e)) for e in highlight}
+
+    lines = ["digraph jungloids {"]
+    lines.append("  rankdir=LR;")
+    lines.append("  node [shape=box, fontsize=10];")
+    if title:
+        lines.append(f"  label={_quote(title)};")
+    for node in sorted(selected, key=node_label):
+        attrs = [f"label={_quote(_simple_label(node))}"]
+        if isinstance(node, TypestateNode):
+            attrs.append("style=dashed")
+        lines.append(f"  {_quote(node_label(node))} [{', '.join(attrs)}];")
+    for node in sorted(selected, key=node_label):
+        for edge in graph.out_edges(node):
+            if edge.target not in selected:
+                continue
+            attrs = [f"label={_quote(_edge_label(edge))}"]
+            if edge.is_widening:
+                attrs.append("style=dotted")
+            key = (node_label(edge.source), node_label(edge.target), _edge_label(edge))
+            if id(edge) in highlight_set or key in structural_highlight:
+                attrs.append("penwidth=2.5")
+            lines.append(
+                f"  {_quote(node_label(edge.source))} -> {_quote(node_label(edge.target))}"
+                f" [{', '.join(attrs)}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def path_dot(path: Sequence[Edge], title: Optional[str] = None) -> str:
+    """DOT text for a single edge path (mined example rendering)."""
+    lines = ["digraph path {", "  rankdir=LR;", "  node [shape=box, fontsize=10];"]
+    if title:
+        lines.append(f"  label={_quote(title)};")
+    seen: Set[str] = set()
+    for edge in path:
+        for n in (edge.source, edge.target):
+            label = node_label(n)
+            if label not in seen:
+                seen.add(label)
+                style = ", style=dashed" if isinstance(n, TypestateNode) else ""
+                lines.append(f"  {_quote(label)} [label={_quote(_simple_label(n))}{style}];")
+        lines.append(
+            f"  {_quote(node_label(edge.source))} -> {_quote(node_label(edge.target))}"
+            f" [label={_quote(_edge_label(edge))}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

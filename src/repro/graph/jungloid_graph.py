@@ -1,0 +1,97 @@
+"""The jungloid graph: signature graph + mined example paths (Section 4.2).
+
+Each generalized example jungloid ``λx.(U)e : T → U`` is spliced into the
+graph as a fresh path from the existing node ``T`` to the existing node
+``U``; all intermediate objects get **fresh typestate nodes** (Figure 6's
+``Object-1``), so the mined downcast is reachable only through the mined
+call sequence — casting arbitrary ``Object`` values to ``U`` remains
+unrepresentable, which is exactly the precision property Section 4.1
+demands.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..jungloids import Jungloid
+from ..typesystem import TypeRegistry
+from .nodes import Edge, Node, TypestateNode, node_base_type
+from .signature_graph import SignatureGraph
+
+
+class JungloidGraph(SignatureGraph):
+    """Signature graph refined with mined typestate paths."""
+
+    def __init__(self, registry: TypeRegistry):
+        super().__init__(registry)
+        self._typestate_counter: Dict[str, int] = {}
+        self._mined_paths: List[Tuple[Edge, ...]] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        registry: TypeRegistry,
+        mined: Iterable[Jungloid] = (),
+        public_only: bool = True,
+    ) -> "JungloidGraph":
+        """Build the signature graph and splice every mined jungloid in."""
+        base = SignatureGraph.from_registry(registry, public_only=public_only)
+        graph = cls(registry)
+        for node in base.nodes:
+            graph.add_node(node)
+        for edge in base.edges():
+            graph.add_edge(edge)
+        for jungloid in mined:
+            graph.add_mined_path(jungloid)
+        return graph
+
+    def _fresh_typestate(self, node_type) -> TypestateNode:
+        simple = getattr(node_type, "simple", None) or str(node_type)
+        count = self._typestate_counter.get(simple, 0) + 1
+        self._typestate_counter[simple] = count
+        return TypestateNode(base=node_type, tag=f"{simple}-{count}")
+
+    def add_mined_path(self, jungloid: Jungloid) -> Tuple[Edge, ...]:
+        """Splice one generalized example jungloid into the graph.
+
+        The path starts at the existing node for the example's input type
+        and ends at the existing node for its output type; every
+        intermediate object gets a fresh typestate node.
+        """
+        steps = jungloid.steps
+        source: Node = jungloid.input_type
+        self.add_node(source)
+        edges: List[Edge] = []
+        for i, step in enumerate(steps):
+            last = i == len(steps) - 1
+            target: Node = step.output_type if last else self._fresh_typestate(step.output_type)
+            self.add_node(target)
+            edges.append(self.add_edge(Edge(source, target, step)))
+            source = target
+        path = tuple(edges)
+        self._mined_paths.append(path)
+        return path
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def mined_paths(self) -> Sequence[Tuple[Edge, ...]]:
+        return tuple(self._mined_paths)
+
+    def typestate_nodes(self) -> Tuple[TypestateNode, ...]:
+        return tuple(n for n in self.nodes if isinstance(n, TypestateNode))
+
+    def mined_path_count(self) -> int:
+        return len(self._mined_paths)
+
+    def find_typestate(self, tag: str) -> Optional[TypestateNode]:
+        for n in self.nodes:
+            if isinstance(n, TypestateNode) and n.tag == tag:
+                return n
+        return None

@@ -1,0 +1,80 @@
+"""Graph nodes and edges shared by the signature and jungloid graphs.
+
+Signature-graph nodes are reference types (plus ``void``). The jungloid
+graph adds **typestate nodes** (Section 4.2, Figure 6): fresh copies of a
+type, such as ``Object-1``, that mark "an object in the state where this
+particular downcast will succeed". A typestate node carries its underlying
+type but is distinct from the plain type node, so mined downcasts only
+apply to objects that took the mined path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..jungloids import ElementaryJungloid
+from ..typesystem import JavaType
+
+
+@dataclass(frozen=True)
+class TypestateNode:
+    """A fresh node for an intermediate object of a mined example path."""
+
+    base: JavaType
+    tag: str  # unique per node, e.g. "Object-1"
+
+    def __str__(self) -> str:
+        return self.tag
+
+    @property
+    def display(self) -> str:
+        return self.tag
+
+
+#: A node of the (signature or jungloid) graph.
+Node = Union[JavaType, TypestateNode]
+
+
+def node_base_type(node: Node) -> JavaType:
+    """The Java type an object at this node actually has."""
+    if isinstance(node, TypestateNode):
+        return node.base
+    return node
+
+
+def node_label(node: Node) -> str:
+    """Stable display label (used by the DOT exporter and tests)."""
+    if isinstance(node, TypestateNode):
+        return node.tag
+    return str(node)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed, labeled edge: one elementary jungloid between two nodes.
+
+    For plain signature edges the node endpoints equal the elementary
+    jungloid's input/output types; for mined-path edges the endpoints may
+    be typestate nodes whose *base* types equal those types.
+    """
+
+    source: Node
+    target: Node
+    elementary: ElementaryJungloid
+
+    @property
+    def is_widening(self) -> bool:
+        return self.elementary.is_widening
+
+    @property
+    def is_downcast(self) -> bool:
+        return self.elementary.is_downcast
+
+    @property
+    def search_length(self) -> int:
+        """Unit length for the bounded search; widening edges are free."""
+        return 0 if self.is_widening else 1
+
+    def __str__(self) -> str:
+        return f"{node_label(self.source)} --[{self.elementary.render('x')}]--> {node_label(self.target)}"

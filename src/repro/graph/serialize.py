@@ -1,0 +1,297 @@
+"""Serialization of registries, mined jungloids, and graphs.
+
+The paper reports the graph representation's footprint (8 MB on disk,
+24 MB in memory, 1.5 s to load). Our on-disk format is JSON: the full
+type registry plus the mined example paths; loading reparses the JSON and
+rebuilds the jungloid graph, which is what the Section-5 benchmark times.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..jungloids import (
+    ElementaryJungloid,
+    ElementaryKind,
+    Jungloid,
+    constructor_call,
+    downcast,
+    field_access,
+    instance_call,
+    static_call,
+    widening,
+)
+from ..typesystem import (
+    ArrayType,
+    Constructor,
+    Field,
+    JavaType,
+    Method,
+    NamedType,
+    Parameter,
+    PRIMITIVES,
+    TypeKind,
+    TypeRegistry,
+    VOID,
+    Visibility,
+    array_of,
+    named,
+)
+from .jungloid_graph import JungloidGraph
+
+
+# ----------------------------------------------------------------------
+# Type strings
+# ----------------------------------------------------------------------
+
+def type_to_string(t: JavaType) -> str:
+    return str(t)
+
+
+def type_from_string(text: str) -> JavaType:
+    dims = 0
+    while text.endswith("[]"):
+        text = text[:-2]
+        dims += 1
+    if text == "void":
+        base: JavaType = VOID
+    elif text in PRIMITIVES:
+        base = PRIMITIVES[text]
+    else:
+        base = named(text)
+    if dims:
+        return array_of(base, dims)  # type: ignore[arg-type]
+    return base
+
+
+# ----------------------------------------------------------------------
+# Registry <-> JSON
+# ----------------------------------------------------------------------
+
+def registry_to_dict(registry: TypeRegistry) -> Dict:
+    types = []
+    for decl in registry.all_declarations():
+        if decl.type == registry.object_type:
+            continue  # implicit
+        entry = {
+            "name": decl.type.name.dotted,
+            "kind": decl.kind.value,
+            "abstract": decl.abstract,
+            "superclass": decl.superclass.name.dotted if decl.superclass else None,
+            "interfaces": [i.name.dotted for i in decl.interfaces],
+            "fields": [
+                {
+                    "name": f.name,
+                    "type": type_to_string(f.type),
+                    "static": f.static,
+                    "visibility": f.visibility.value,
+                }
+                for f in decl.fields
+            ],
+            "methods": [
+                {
+                    "name": m.name,
+                    "returns": type_to_string(m.return_type),
+                    "params": [
+                        {"name": p.name, "type": type_to_string(p.type)} for p in m.parameters
+                    ],
+                    "static": m.static,
+                    "visibility": m.visibility.value,
+                }
+                for m in decl.methods
+            ],
+            "constructors": [
+                {
+                    "params": [
+                        {"name": p.name, "type": type_to_string(p.type)} for p in c.parameters
+                    ],
+                    "visibility": c.visibility.value,
+                }
+                for c in decl.constructors
+            ],
+        }
+        types.append(entry)
+    # java.lang.Object's own members, if any.
+    obj = registry.declaration_of(registry.object_type)
+    return {
+        "format": "prospector-registry-v1",
+        "object_methods": [
+            {
+                "name": m.name,
+                "returns": type_to_string(m.return_type),
+                "params": [
+                    {"name": p.name, "type": type_to_string(p.type)} for p in m.parameters
+                ],
+                "static": m.static,
+                "visibility": m.visibility.value,
+            }
+            for m in obj.methods
+        ],
+        "types": types,
+    }
+
+
+def registry_from_dict(data: Dict) -> TypeRegistry:
+    if data.get("format") != "prospector-registry-v1":
+        raise ValueError(f"unknown registry format: {data.get('format')!r}")
+    registry = TypeRegistry()
+    for entry in data["types"]:
+        registry.declare(
+            entry["name"],
+            kind=TypeKind(entry["kind"]),
+            superclass=entry["superclass"],
+            interfaces=entry["interfaces"],
+            abstract=entry["abstract"],
+        )
+    for m in data.get("object_methods", []):
+        registry.add_method(_method_from_dict(registry.object_type, m))
+    for entry in data["types"]:
+        owner = registry.lookup(entry["name"])
+        for f in entry["fields"]:
+            registry.add_field(
+                Field(
+                    owner=owner,
+                    name=f["name"],
+                    type=type_from_string(f["type"]),
+                    static=f["static"],
+                    visibility=Visibility(f["visibility"]),
+                )
+            )
+        for m in entry["methods"]:
+            registry.add_method(_method_from_dict(owner, m))
+        for c in entry["constructors"]:
+            registry.add_constructor(
+                Constructor(
+                    owner=owner,
+                    parameters=tuple(
+                        Parameter(p["name"], type_from_string(p["type"])) for p in c["params"]
+                    ),
+                    visibility=Visibility(c["visibility"]),
+                )
+            )
+    return registry
+
+
+def _method_from_dict(owner: NamedType, m: Dict) -> Method:
+    return Method(
+        owner=owner,
+        name=m["name"],
+        return_type=type_from_string(m["returns"]),
+        parameters=tuple(Parameter(p["name"], type_from_string(p["type"])) for p in m["params"]),
+        static=m["static"],
+        visibility=Visibility(m["visibility"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Jungloids <-> JSON
+# ----------------------------------------------------------------------
+
+def elementary_to_dict(e: ElementaryJungloid) -> Dict:
+    entry: Dict = {
+        "kind": e.kind.value,
+        "input": type_to_string(e.input_type),
+        "output": type_to_string(e.output_type),
+        "flow": e.flow_position,
+    }
+    member = e.member
+    if isinstance(member, Field):
+        entry["member"] = {"field": member.name, "owner": str(member.owner)}
+    elif isinstance(member, Method):
+        entry["member"] = {
+            "method": member.name,
+            "owner": str(member.owner),
+            "params": [type_to_string(p.type) for p in member.parameters],
+        }
+    elif isinstance(member, Constructor):
+        entry["member"] = {
+            "constructor": True,
+            "owner": str(member.owner),
+            "params": [type_to_string(p.type) for p in member.parameters],
+        }
+    return entry
+
+
+def elementary_from_dict(registry: TypeRegistry, entry: Dict) -> ElementaryJungloid:
+    kind = ElementaryKind(entry["kind"])
+    t_in = type_from_string(entry["input"])
+    t_out = type_from_string(entry["output"])
+    if kind is ElementaryKind.WIDENING:
+        return widening(t_in, t_out)
+    if kind is ElementaryKind.DOWNCAST:
+        return downcast(t_in, t_out)
+    member = entry["member"]
+    owner = registry.lookup(member["owner"])
+    if kind is ElementaryKind.FIELD_ACCESS:
+        f = registry.find_field(owner, member["field"])
+        if f is None:
+            raise ValueError(f"unknown field {member['owner']}.{member['field']}")
+        return field_access(f)
+    flow = entry["flow"]
+    param_types = tuple(type_from_string(p) for p in member.get("params", []))
+    if kind is ElementaryKind.CONSTRUCTOR:
+        for c in registry.constructors_of(owner):
+            if c.parameter_types == param_types:
+                return _variant_with_flow(constructor_call(c), flow)
+        raise ValueError(f"unknown constructor {member['owner']}({member.get('params')})")
+    methods = [
+        m for m in registry.find_method(owner, member["method"]) if m.parameter_types == param_types
+    ]
+    if not methods:
+        raise ValueError(f"unknown method {member['owner']}.{member['method']}")
+    m = methods[0]
+    variants = static_call(m) if m.static else instance_call(m)
+    return _variant_with_flow(variants, flow)
+
+
+def _variant_with_flow(
+    variants: Sequence[ElementaryJungloid], flow: int
+) -> ElementaryJungloid:
+    for v in variants:
+        if v.flow_position == flow:
+            return v
+    raise ValueError(f"no call variant with flow position {flow}")
+
+
+def jungloid_to_dict(j: Jungloid) -> List[Dict]:
+    return [elementary_to_dict(e) for e in j.steps]
+
+
+def jungloid_from_dict(registry: TypeRegistry, steps: List[Dict]) -> Jungloid:
+    return Jungloid(tuple(elementary_from_dict(registry, s) for s in steps))
+
+
+# ----------------------------------------------------------------------
+# Whole-graph bundle
+# ----------------------------------------------------------------------
+
+def bundle_to_json(
+    registry: TypeRegistry, mined: Iterable[Jungloid] = (), indent: Optional[int] = None
+) -> str:
+    """Serialize everything needed to rebuild a jungloid graph."""
+    data = {
+        "format": "prospector-bundle-v1",
+        "registry": registry_to_dict(registry),
+        "mined": [jungloid_to_dict(j) for j in mined],
+    }
+    return json.dumps(data, indent=indent)
+
+
+def bundle_from_json(text: str) -> Tuple[TypeRegistry, List[Jungloid]]:
+    data = json.loads(text)
+    if data.get("format") != "prospector-bundle-v1":
+        raise ValueError(f"unknown bundle format: {data.get('format')!r}")
+    registry = registry_from_dict(data["registry"])
+    mined = [jungloid_from_dict(registry, steps) for steps in data["mined"]]
+    return registry, mined
+
+
+def load_graph_from_json(text: str) -> JungloidGraph:
+    """Rebuild the full jungloid graph from a serialized bundle.
+
+    This is the operation whose latency the Section-5 bench reports as
+    "load time".
+    """
+    registry, mined = bundle_from_json(text)
+    return JungloidGraph.build(registry, mined)

@@ -1,0 +1,43 @@
+"""Jungloid model: elementary jungloids, composition, cost, and codegen."""
+
+from .codegen import JavaSnippet, NameAllocator, render_inline, render_statements
+from .cost import DEFAULT_COST_MODEL, FREE_VARIABLE_COST, CostModel, jungloid_cost
+from .elementary import (
+    NO_INPUT,
+    RECEIVER,
+    ElementaryJungloid,
+    ElementaryKind,
+    FreeVariable,
+    constructor_call,
+    downcast,
+    field_access,
+    instance_call,
+    static_call,
+    widening,
+)
+from .jungloid import CompositionError, Jungloid, compose_all
+
+__all__ = [
+    "CompositionError",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "ElementaryJungloid",
+    "ElementaryKind",
+    "FREE_VARIABLE_COST",
+    "FreeVariable",
+    "JavaSnippet",
+    "Jungloid",
+    "NO_INPUT",
+    "NameAllocator",
+    "RECEIVER",
+    "compose_all",
+    "constructor_call",
+    "downcast",
+    "field_access",
+    "instance_call",
+    "jungloid_cost",
+    "render_inline",
+    "render_statements",
+    "static_call",
+    "widening",
+]

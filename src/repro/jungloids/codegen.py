@@ -1,0 +1,124 @@
+"""Java code generation for synthesized jungloids.
+
+A solution jungloid is translated to code the way Section 2.2 shows: one
+declaration per intermediate object, with extra declarations for free
+variables annotated ``// free variable`` so the user knows another query
+is needed to fill them. A compact single-expression rendering is also
+provided for display in completion pop-ups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..typesystem import JavaType, VOID, is_reference
+from .elementary import FreeVariable
+from .jungloid import Jungloid
+
+
+class NameAllocator:
+    """Allocates readable, non-colliding Java variable names."""
+
+    def __init__(self, reserved: Optional[List[str]] = None):
+        self._used: Dict[str, int] = {}
+        for name in reserved or []:
+            self._used[name] = 0
+
+    def fresh(self, t: JavaType) -> str:
+        base = self._base_name(t)
+        if base not in self._used:
+            self._used[base] = 0
+            return base
+        self._used[base] += 1
+        return f"{base}{self._used[base]}"
+
+    def reserve(self, name: str) -> str:
+        if name not in self._used:
+            self._used[name] = 0
+            return name
+        self._used[name] += 1
+        return f"{name}{self._used[name]}"
+
+    @staticmethod
+    def _base_name(t: JavaType) -> str:
+        simple = getattr(t, "simple", None)
+        if simple is None:
+            simple = str(t).replace("[]", "Array").replace(".", "")
+        # Strip a leading 'I' from interface-style names: IFile -> file.
+        if len(simple) > 1 and simple[0] == "I" and simple[1].isupper():
+            simple = simple[1:]
+        name = simple[0].lower() + simple[1:]
+        return "".join(ch for ch in name if ch.isalnum()) or "value"
+
+
+@dataclass
+class JavaSnippet:
+    """A rendered code snippet: declarations plus the produced variable."""
+
+    lines: List[str] = field(default_factory=list)
+    result_variable: Optional[str] = None
+    free_variables: List[FreeVariable] = field(default_factory=list)
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self.lines)
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def render_statements(
+    jungloid: Jungloid,
+    input_variable: Optional[str] = None,
+    result_variable: Optional[str] = None,
+    declare_free_variables: bool = True,
+) -> JavaSnippet:
+    """Render a jungloid as a sequence of Java statements.
+
+    ``input_variable`` names the existing object of the input type (ignored
+    for ``void``-input jungloids). Every non-widening step becomes one
+    declaration; widening steps are invisible, exactly as in source Java.
+    """
+    if jungloid.input_type != VOID and input_variable is None:
+        input_variable = "input"
+    allocator = NameAllocator(reserved=[input_variable] if input_variable else [])
+    snippet = JavaSnippet()
+
+    free_names: Dict[Tuple[int, str], str] = {}
+    for i, step in enumerate(jungloid.steps):
+        for v in step.free_variables:
+            name = allocator.reserve(v.name)
+            free_names[(i, v.name)] = name
+            fv = FreeVariable(name, v.type)
+            snippet.free_variables.append(fv)
+            if declare_free_variables and is_reference(v.type):
+                snippet.lines.append(f"{v.type} {name}; // free variable")
+
+    current = input_variable or ""
+    last_index = len(jungloid.steps) - 1
+    for i, step in enumerate(jungloid.steps):
+        names = [free_names[(i, v.name)] for v in step.free_variables]
+        expr = step.render(current, names)
+        if step.is_widening:
+            current = expr
+            continue
+        if i == last_index and result_variable is not None:
+            var = allocator.reserve(result_variable)
+        else:
+            var = allocator.fresh(step.output_type)
+        snippet.lines.append(f"{step.output_type} {var} = {expr};")
+        current = var
+    # A trailing widening step yields no declaration; alias if needed.
+    if jungloid.steps[last_index].is_widening and result_variable is not None:
+        snippet.lines.append(f"{jungloid.output_type} {result_variable} = {current};")
+        current = result_variable
+    snippet.result_variable = current or None
+    return snippet
+
+
+def render_inline(jungloid: Jungloid, input_variable: Optional[str] = None) -> str:
+    """Render as one nested expression, e.g. for a completion pop-up."""
+    if jungloid.input_type == VOID:
+        return jungloid.render_expression("")
+    return jungloid.render_expression(input_variable or "input")

@@ -1,0 +1,29 @@
+"""Errors for the mini-Java corpus language."""
+
+from __future__ import annotations
+
+
+class MiniJavaError(Exception):
+    """Base class for mini-Java front-end errors."""
+
+
+class MjLexError(MiniJavaError):
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class MjParseError(MiniJavaError):
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class MjResolveError(MiniJavaError):
+    """A name (type, variable, method, field) failed to resolve."""
+
+
+class MjTypeError(MiniJavaError):
+    """The program is ill-typed (bad assignment, call, cast, or condition)."""

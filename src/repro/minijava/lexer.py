@@ -1,0 +1,200 @@
+"""Lexer for mini-Java, the corpus client-code language.
+
+Mini-Java covers the Java constructs jungloid mining actually consumes:
+declarations, assignments, calls, ``new``, casts, field access, and simple
+control flow. The token set is correspondingly small; string/char/int
+literals are supported because corpus code passes them as arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, List
+
+from .errors import MjLexError
+
+
+class MjTokenKind(Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT_LIT = "int"
+    STRING_LIT = "string"
+    CHAR_LIT = "char"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "package",
+        "import",
+        "class",
+        "interface",
+        "extends",
+        "implements",
+        "public",
+        "protected",
+        "private",
+        "static",
+        "final",
+        "abstract",
+        "void",
+        "boolean",
+        "byte",
+        "short",
+        "char",
+        "int",
+        "long",
+        "float",
+        "double",
+        "return",
+        "new",
+        "if",
+        "else",
+        "while",
+        "true",
+        "false",
+        "null",
+        "this",
+    }
+)
+
+# Multi-character operators first so maximal munch works.
+_PUNCTUATION = (
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    ",",
+    ".",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "!",
+)
+
+
+@dataclass(frozen=True)
+class MjToken:
+    kind: MjTokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is MjTokenKind.KEYWORD and self.text == word
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is MjTokenKind.PUNCT and self.text == text
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind.name}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(text: str) -> List[MjToken]:
+    """Tokenize mini-Java source, raising :class:`MjLexError` on bad input."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[MjToken]:
+    i = 0
+    line = 1
+    column = 1
+    n = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, column
+        for _ in range(count):
+            if text[i] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            i += 1
+
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                advance(1)
+            continue
+        if ch == "/" and i + 1 < n and text[i + 1] == "*":
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise MjLexError("unterminated block comment", line, column)
+            advance(end + 2 - i)
+            continue
+        if ch.isalpha() or ch in "_$":
+            start_line, start_col = line, column
+            start = i
+            while i < n and (text[i].isalnum() or text[i] in "_$"):
+                advance(1)
+            word = text[start:i]
+            kind = MjTokenKind.KEYWORD if word in KEYWORDS else MjTokenKind.IDENT
+            yield MjToken(kind, word, start_line, start_col)
+            continue
+        if ch.isdigit():
+            start_line, start_col = line, column
+            start = i
+            while i < n and (text[i].isdigit() or text[i] in "xXabcdefABCDEFlL"):
+                advance(1)
+            yield MjToken(MjTokenKind.INT_LIT, text[start:i], start_line, start_col)
+            continue
+        if ch == '"':
+            start_line, start_col = line, column
+            j = i + 1
+            value = []
+            while j < n and text[j] != '"':
+                if text[j] == "\\" and j + 1 < n:
+                    value.append(text[j : j + 2])
+                    j += 2
+                else:
+                    value.append(text[j])
+                    j += 1
+            if j >= n:
+                raise MjLexError("unterminated string literal", start_line, start_col)
+            advance(j + 1 - i)
+            yield MjToken(MjTokenKind.STRING_LIT, "".join(value), start_line, start_col)
+            continue
+        if ch == "'":
+            start_line, start_col = line, column
+            j = i + 1
+            if j < n and text[j] == "\\":
+                j += 2
+            else:
+                j += 1
+            if j >= n or text[j] != "'":
+                raise MjLexError("unterminated char literal", start_line, start_col)
+            value = text[i + 1 : j]
+            advance(j + 1 - i)
+            yield MjToken(MjTokenKind.CHAR_LIT, value, start_line, start_col)
+            continue
+        matched = False
+        for punct in _PUNCTUATION:
+            if text.startswith(punct, i):
+                yield MjToken(MjTokenKind.PUNCT, punct, line, column)
+                advance(len(punct))
+                matched = True
+                break
+        if matched:
+            continue
+        raise MjLexError(f"unexpected character {ch!r}", line, column)
+    yield MjToken(MjTokenKind.EOF, "", line, column)

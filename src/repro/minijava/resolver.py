@@ -1,0 +1,496 @@
+"""Name resolution and type annotation for mini-Java corpus programs.
+
+Resolution happens against a :class:`TypeRegistry` that holds the API
+declarations; corpus classes are *added* to that registry (the caller
+normally passes a clone, so client members never leak into the synthesis
+graph — see :mod:`repro.corpus.loader`). After resolution every
+expression node carries ``resolved_type`` and every call / field access /
+``new`` carries the resolved member, which is what the miner consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..typesystem import (
+    ArrayType,
+    Constructor,
+    Field as TsField,
+    JavaType,
+    Method,
+    NamedType,
+    Parameter,
+    PRIMITIVES,
+    TypeKind,
+    TypeRegistry,
+    UnknownTypeError,
+    VOID,
+    Visibility,
+    array_of,
+    is_assignable,
+    named,
+)
+from .ast import (
+    AssignStmt,
+    BinaryExpr,
+    Block,
+    BoolLit,
+    CallExpr,
+    CastExpr,
+    CharLit,
+    ClassDecl,
+    CompilationUnit,
+    Expr,
+    ExprStmt,
+    FieldAccessExpr,
+    IfStmt,
+    IntLit,
+    LocalVarDecl,
+    MethodDecl,
+    NewExpr,
+    NullLit,
+    ReturnStmt,
+    Stmt,
+    StringLit,
+    ThisExpr,
+    TypeName,
+    TypeRef,
+    VarRef,
+    WhileStmt,
+)
+from .errors import MjResolveError
+from .symbols import Scope
+
+_VISIBILITY = {
+    "public": Visibility.PUBLIC,
+    "protected": Visibility.PROTECTED,
+    "private": Visibility.PRIVATE,
+}
+
+STRING_NAME = "java.lang.String"
+
+
+class UnitEnvironment:
+    """Per-compilation-unit name environment: package + imports."""
+
+    def __init__(self, registry: TypeRegistry, unit: CompilationUnit):
+        self._registry = registry
+        self._package = unit.package
+        self._imports: Dict[str, str] = {}
+        for imp in unit.imports:
+            simple = imp.rpartition(".")[2]
+            self._imports[simple] = imp
+
+    def resolve_type_name(self, name: str) -> NamedType:
+        """Resolve a possibly-qualified source type name."""
+        if "." in name:
+            return self._registry.lookup(name)
+        if name in self._imports:
+            return self._registry.lookup(self._imports[name])
+        if self._package:
+            candidate = f"{self._package}.{name}"
+            if candidate in self._registry:
+                return self._registry.lookup(candidate)
+        lang = f"java.lang.{name}"
+        if lang in self._registry:
+            return self._registry.lookup(lang)
+        matches = self._registry.lookup_simple(name)
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise MjResolveError(f"unknown type {name!r}")
+        raise MjResolveError(
+            f"ambiguous type {name!r}: {', '.join(sorted(str(m) for m in matches))}"
+        )
+
+    def try_resolve_type_name(self, name: str) -> Optional[NamedType]:
+        try:
+            return self.resolve_type_name(name)
+        except (MjResolveError, UnknownTypeError):
+            return None
+
+    def resolve_type_ref(self, ref: TypeRef) -> JavaType:
+        if ref.name == "void":
+            if ref.dims:
+                raise MjResolveError("void cannot be an array element")
+            return VOID
+        if ref.name in PRIMITIVES:
+            base: JavaType = PRIMITIVES[ref.name]
+        else:
+            base = self.resolve_type_name(ref.name)
+        if ref.dims:
+            return array_of(base, ref.dims)  # type: ignore[arg-type]
+        return base
+
+
+class Resolver:
+    """Two-phase resolver: declare corpus classes, then resolve bodies."""
+
+    def __init__(self, registry: TypeRegistry):
+        self.registry = registry
+        self._envs: Dict[int, UnitEnvironment] = {}
+        self._corpus_types: List[NamedType] = []
+
+    # ------------------------------------------------------------------
+    # Phase 1: declarations
+    # ------------------------------------------------------------------
+
+    def declare_units(self, units: Sequence[CompilationUnit]) -> List[NamedType]:
+        """Declare every corpus class/interface into the registry."""
+        for unit in units:
+            for cls in unit.classes:
+                assert cls.qualified_name is not None
+                self.registry.declare(
+                    cls.qualified_name,
+                    kind=TypeKind.INTERFACE if cls.is_interface else TypeKind.CLASS,
+                )
+        # Supertypes and members need every corpus type declared first, but
+        # the registry fixes supertypes at declare time — so corpus classes
+        # record them via a patch pass on the declaration objects.
+        for unit in units:
+            env = self._env(unit)
+            for cls in unit.classes:
+                decl = self.registry.declaration_of(
+                    self.registry.lookup(cls.qualified_name)  # type: ignore[arg-type]
+                )
+                if cls.extends is not None:
+                    decl.superclass = env.resolve_type_name(cls.extends.name)
+                decl.interfaces = tuple(
+                    env.resolve_type_name(i.name) for i in cls.implements
+                )
+        self.registry.invalidate_caches()  # hierarchy changed
+        for unit in units:
+            env = self._env(unit)
+            for cls in unit.classes:
+                self._declare_members(env, cls)
+        return list(self._corpus_types)
+
+    def _env(self, unit: CompilationUnit) -> UnitEnvironment:
+        key = id(unit)
+        env = self._envs.get(key)
+        if env is None:
+            env = UnitEnvironment(self.registry, unit)
+            self._envs[key] = env
+        return env
+
+    def _declare_members(self, env: UnitEnvironment, cls: ClassDecl) -> None:
+        owner = self.registry.lookup(cls.qualified_name)  # type: ignore[arg-type]
+        self._corpus_types.append(owner)
+        has_constructor = False
+        for f in cls.fields:
+            ftype = env.resolve_type_ref(f.type_ref)
+            f.resolved_type = ftype
+            self.registry.add_field(
+                TsField(
+                    owner=owner,
+                    name=f.name,
+                    type=ftype,
+                    static=f.static,
+                    visibility=_VISIBILITY[f.visibility],
+                )
+            )
+        for m in cls.methods:
+            m.owner_type = owner
+            params = []
+            for p in m.params:
+                p.resolved_type = env.resolve_type_ref(p.type_ref)
+                params.append(Parameter(p.name, p.resolved_type))
+            if m.is_constructor:
+                has_constructor = True
+                ctor = Constructor(
+                    owner=owner,
+                    parameters=tuple(params),
+                    visibility=_VISIBILITY[m.visibility],
+                )
+                self.registry.add_constructor(ctor)
+                m.resolved_constructor = ctor
+                continue
+            rtype = env.resolve_type_ref(m.return_type)
+            method = Method(
+                owner=owner,
+                name=m.name,
+                return_type=rtype,
+                parameters=tuple(params),
+                static=m.static,
+                visibility=_VISIBILITY[m.visibility],
+            )
+            self.registry.add_method(method)
+            m.resolved_method = method
+        if not cls.is_interface and not has_constructor:
+            # Java's implicit default constructor.
+            self.registry.add_constructor(Constructor(owner=owner))
+
+    # ------------------------------------------------------------------
+    # Phase 2: bodies
+    # ------------------------------------------------------------------
+
+    def resolve_units(self, units: Sequence[CompilationUnit]) -> None:
+        for unit in units:
+            env = self._env(unit)
+            for cls in unit.classes:
+                owner = self.registry.lookup(cls.qualified_name)  # type: ignore[arg-type]
+                for f in cls.fields:
+                    if f.init is not None:
+                        scope = Scope()
+                        self._expr(f.init, env, owner, scope)
+                for m in cls.methods:
+                    self._resolve_method(env, owner, m)
+
+    def _resolve_method(self, env: UnitEnvironment, owner: NamedType, m: MethodDecl) -> None:
+        if m.body is None:
+            return
+        scope = Scope()
+        for p in m.params:
+            assert p.resolved_type is not None
+            scope.declare(p.name, p.resolved_type, kind="param")
+        self._stmt(m.body, env, owner, scope)
+
+    # -- statements -----------------------------------------------------
+
+    def _stmt(self, stmt: Stmt, env: UnitEnvironment, owner: NamedType, scope: Scope) -> None:
+        if isinstance(stmt, Block):
+            inner = scope.child()
+            for s in stmt.statements:
+                self._stmt(s, env, owner, inner)
+        elif isinstance(stmt, LocalVarDecl):
+            stmt.resolved_type = env.resolve_type_ref(stmt.type_ref)
+            if stmt.init is not None:
+                self._expr(stmt.init, env, owner, scope)
+            scope.declare(stmt.name, stmt.resolved_type, kind="local")
+        elif isinstance(stmt, AssignStmt):
+            self._expr(stmt.target, env, owner, scope)
+            self._expr(stmt.value, env, owner, scope)
+        elif isinstance(stmt, ExprStmt):
+            self._expr(stmt.expr, env, owner, scope)
+        elif isinstance(stmt, ReturnStmt):
+            if stmt.value is not None:
+                self._expr(stmt.value, env, owner, scope)
+        elif isinstance(stmt, IfStmt):
+            self._expr(stmt.condition, env, owner, scope)
+            self._stmt(stmt.then_branch, env, owner, scope)
+            if stmt.else_branch is not None:
+                self._stmt(stmt.else_branch, env, owner, scope)
+        elif isinstance(stmt, WhileStmt):
+            self._expr(stmt.condition, env, owner, scope)
+            self._stmt(stmt.body, env, owner, scope)
+        else:  # pragma: no cover - exhaustive over our AST
+            raise MjResolveError(f"unhandled statement {type(stmt).__name__}")
+
+    # -- expressions -----------------------------------------------------
+
+    def _expr(self, expr: Expr, env: UnitEnvironment, owner: NamedType, scope: Scope) -> JavaType:
+        t = self._expr_inner(expr, env, owner, scope)
+        expr.resolved_type = t
+        return t
+
+    def _expr_inner(
+        self, expr: Expr, env: UnitEnvironment, owner: NamedType, scope: Scope
+    ) -> Optional[JavaType]:
+        if isinstance(expr, IntLit):
+            return PRIMITIVES["int"]
+        if isinstance(expr, BoolLit):
+            return PRIMITIVES["boolean"]
+        if isinstance(expr, CharLit):
+            return PRIMITIVES["char"]
+        if isinstance(expr, StringLit):
+            return self._string_type()
+        if isinstance(expr, NullLit):
+            return None  # the null type: assignable to any reference type
+        if isinstance(expr, ThisExpr):
+            return owner
+        if isinstance(expr, VarRef):
+            return self._var_ref(expr, env, owner, scope)
+        if isinstance(expr, TypeName):
+            return env.resolve_type_name(expr.name)
+        if isinstance(expr, FieldAccessExpr):
+            return self._field_access(expr, env, owner, scope)
+        if isinstance(expr, CallExpr):
+            return self._call(expr, env, owner, scope)
+        if isinstance(expr, NewExpr):
+            return self._new(expr, env, owner, scope)
+        if isinstance(expr, CastExpr):
+            target = env.resolve_type_ref(expr.type_ref)
+            operand_t = self._expr(expr.operand, env, owner, scope)
+            expr.operand_type = operand_t
+            return target
+        if isinstance(expr, BinaryExpr):
+            lt = self._expr(expr.left, env, owner, scope)
+            self._expr(expr.right, env, owner, scope)
+            if expr.op in ("==", "!=", "<", ">", "<=", ">=", "&&", "||"):
+                return PRIMITIVES["boolean"]
+            if expr.op == "+" and lt == self._string_type():
+                return lt
+            return lt
+        if isinstance(expr, UnaryExpr):
+            t = self._expr(expr.operand, env, owner, scope)
+            if expr.op == "!":
+                return PRIMITIVES["boolean"]
+            return t
+        raise MjResolveError(f"unhandled expression {type(expr).__name__}")
+
+    def _string_type(self) -> NamedType:
+        if STRING_NAME not in self.registry:
+            raise MjResolveError(
+                "java.lang.String is not declared; load the java.lang stubs first"
+            )
+        return self.registry.lookup(STRING_NAME)
+
+    def _var_ref(
+        self, expr: VarRef, env: UnitEnvironment, owner: NamedType, scope: Scope
+    ) -> JavaType:
+        symbol = scope.lookup(expr.name)
+        if symbol is not None:
+            expr.resolved_kind = symbol.kind
+            return symbol.type
+        field = self.registry.find_field(owner, expr.name)
+        if field is not None:
+            expr.resolved_kind = "field"
+            expr.resolved_field = field
+            return field.type
+        raise MjResolveError(f"unknown variable {expr.name!r} (in {owner})")
+
+    def _receiver(
+        self, expr: Expr, env: UnitEnvironment, owner: NamedType, scope: Scope
+    ) -> Tuple[Expr, JavaType, bool]:
+        """Resolve a receiver expression, folding type names.
+
+        Returns ``(possibly rewritten expr, type, is_static_receiver)``. A
+        bare name (or dotted chain of names) that doesn't resolve as a
+        variable is reinterpreted as a type reference — the ``JavaCore``
+        in ``JavaCore.createCompilationUnitFrom(file)``.
+        """
+        dotted = _as_dotted_name(expr)
+        if dotted is not None:
+            head = dotted.split(".")[0]
+            # Variables shadow type names, as in Java.
+            if scope.lookup(head) is None and self.registry.find_field(owner, head) is None:
+                t = env.try_resolve_type_name(dotted)
+                if t is not None:
+                    folded = TypeName(name=dotted, position=expr.position)
+                    folded.resolved_type = t
+                    return folded, t, True
+        t = self._expr(expr, env, owner, scope)
+        if t is None:
+            raise MjResolveError("cannot call a member on the null literal")
+        return expr, t, False
+
+    def _field_access(
+        self, expr: FieldAccessExpr, env: UnitEnvironment, owner: NamedType, scope: Scope
+    ) -> JavaType:
+        receiver, rtype, is_static = self._receiver(expr.receiver, env, owner, scope)
+        expr.receiver = receiver
+        if isinstance(rtype, ArrayType) and expr.name == "length":
+            return PRIMITIVES["int"]
+        if not isinstance(rtype, NamedType):
+            raise MjResolveError(f"cannot access field {expr.name!r} on {rtype}")
+        field = self.registry.find_field(rtype, expr.name)
+        if field is None:
+            raise MjResolveError(f"unknown field {rtype}.{expr.name}")
+        if is_static and not field.static:
+            raise MjResolveError(f"field {rtype}.{expr.name} is not static")
+        expr.resolved_field = field
+        return field.type
+
+    def _call(
+        self, expr: CallExpr, env: UnitEnvironment, owner: NamedType, scope: Scope
+    ) -> JavaType:
+        arg_types = []
+        if expr.receiver is None:
+            recv_type: NamedType = owner
+            is_static = False
+        else:
+            receiver, rtype, is_static = self._receiver(expr.receiver, env, owner, scope)
+            expr.receiver = receiver
+            if not isinstance(rtype, NamedType):
+                raise MjResolveError(f"cannot call {expr.name!r} on {rtype}")
+            recv_type = rtype
+        for arg in expr.args:
+            arg_types.append(self._expr(arg, env, owner, scope))
+        method = self._pick_method(recv_type, expr.name, arg_types, static_only=is_static)
+        expr.resolved_method = method
+        return method.return_type
+
+    def _pick_method(
+        self,
+        recv_type: NamedType,
+        name: str,
+        arg_types: List[Optional[JavaType]],
+        static_only: bool,
+    ) -> Method:
+        candidates = [
+            m
+            for m in self.registry.find_method(recv_type, name, arity=len(arg_types))
+            if self._args_match(m.parameter_types, arg_types)
+            and (not static_only or m.static)
+        ]
+        if not candidates:
+            raise MjResolveError(
+                f"no applicable method {recv_type}.{name}/{len(arg_types)}"
+                f" for argument types ({', '.join(str(t) for t in arg_types)})"
+            )
+        if len(candidates) > 1:
+            exact = [m for m in candidates if list(m.parameter_types) == arg_types]
+            if exact:
+                return exact[0]
+        return candidates[0]
+
+    def _args_match(
+        self, params: Tuple[JavaType, ...], args: List[Optional[JavaType]]
+    ) -> bool:
+        for p, a in zip(params, args):
+            if a is None:  # null literal matches any reference type
+                from ..typesystem import is_reference
+
+                if not is_reference(p):
+                    return False
+                continue
+            if not is_assignable(self.registry, a, p):
+                # Tolerate numeric-literal widening (int literal to long etc.)
+                if isinstance(a, type(PRIMITIVES["int"])) and isinstance(
+                    p, type(PRIMITIVES["int"])
+                ):
+                    continue
+                return False
+        return True
+
+    def _new(
+        self, expr: NewExpr, env: UnitEnvironment, owner: NamedType, scope: Scope
+    ) -> JavaType:
+        t = env.resolve_type_ref(expr.type_ref)
+        if not isinstance(t, NamedType):
+            raise MjResolveError(f"cannot instantiate {t}")
+        arg_types = [self._expr(a, env, owner, scope) for a in expr.args]
+        candidates = [
+            c
+            for c in self.registry.constructors_of(t)
+            if c.arity == len(arg_types) and self._args_match(c.parameter_types, arg_types)
+        ]
+        if not candidates:
+            raise MjResolveError(
+                f"no applicable constructor {t}({', '.join(str(a) for a in arg_types)})"
+            )
+        expr.resolved_constructor = candidates[0]
+        return t
+
+
+def _as_dotted_name(expr: Expr) -> Optional[str]:
+    """Render a chain of VarRef/FieldAccess nodes as a dotted name."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, FieldAccessExpr):
+        parts.append(node.name)
+        node = node.receiver
+    if isinstance(node, VarRef):
+        parts.append(node.name)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_program(
+    registry: TypeRegistry, units: Sequence[CompilationUnit]
+) -> List[NamedType]:
+    """Declare and resolve a whole corpus; returns the corpus types."""
+    resolver = Resolver(registry)
+    corpus_types = resolver.declare_units(units)
+    resolver.resolve_units(units)
+    return corpus_types

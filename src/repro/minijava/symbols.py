@@ -1,0 +1,45 @@
+"""Lexical scopes for mini-Java name resolution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..typesystem import JavaType
+from .errors import MjResolveError
+
+
+@dataclass(frozen=True)
+class VariableSymbol:
+    """A resolved local variable or parameter."""
+
+    name: str
+    type: JavaType
+    kind: str  # "local" or "param"
+
+
+class Scope:
+    """A chain of lexical scopes (method body, nested blocks)."""
+
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self._symbols: Dict[str, VariableSymbol] = {}
+
+    def declare(self, name: str, type_: JavaType, kind: str = "local") -> VariableSymbol:
+        if name in self._symbols:
+            raise MjResolveError(f"duplicate variable {name!r} in the same scope")
+        symbol = VariableSymbol(name, type_, kind)
+        self._symbols[name] = symbol
+        return symbol
+
+    def lookup(self, name: str) -> Optional[VariableSymbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            symbol = scope._symbols.get(name)
+            if symbol is not None:
+                return symbol
+            scope = scope.parent
+        return None
+
+    def child(self) -> "Scope":
+        return Scope(self)

@@ -1,0 +1,97 @@
+"""Flow-insensitive data-flow facts for mini-Java methods.
+
+The extraction slice walks backward through *reaching expressions*: for a
+local variable the set of expressions ever assigned to it anywhere in the
+method (order-insensitive, exactly the paper's flow-insensitive
+approximation), for a parameter the argument expressions at call sites,
+and so on. This module computes the per-method assignment map the walker
+consults, plus the hierarchy "widening chain" helper that reconnects a
+sub-expression's static type to the declared input type of the next
+elementary jungloid.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..jungloids import ElementaryJungloid, widening
+from ..typesystem import JavaType, NamedType, TypeRegistry
+from ..minijava.ast import (
+    AssignStmt,
+    Expr,
+    FieldAccessExpr,
+    LocalVarDecl,
+    MethodDecl,
+    VarRef,
+    walk_statements,
+)
+
+
+@dataclass
+class AssignmentMap:
+    """For one method: every expression assigned into each local variable."""
+
+    method: MethodDecl
+    by_variable: Dict[str, List[Expr]] = field(default_factory=dict)
+
+    def sources_of(self, name: str) -> Tuple[Expr, ...]:
+        return tuple(self.by_variable.get(name, ()))
+
+
+def build_assignment_map(method: MethodDecl) -> AssignmentMap:
+    """Collect declarations-with-initializer and assignments, per variable.
+
+    Field assignments are ignored here (fields are handled as elementary
+    field-access jungloids, not as data-flow copies).
+    """
+    amap = AssignmentMap(method)
+    if method.body is None:
+        return amap
+    for stmt in walk_statements(method.body):
+        if isinstance(stmt, LocalVarDecl) and stmt.init is not None:
+            amap.by_variable.setdefault(stmt.name, []).append(stmt.init)
+        elif isinstance(stmt, AssignStmt) and isinstance(stmt.target, VarRef):
+            if stmt.target.resolved_kind in ("local", "param"):
+                amap.by_variable.setdefault(stmt.target.name, []).append(stmt.value)
+    return amap
+
+
+def widening_chain(
+    registry: TypeRegistry, sub: JavaType, sup: JavaType
+) -> Optional[Tuple[ElementaryJungloid, ...]]:
+    """Widening elementary jungloids lifting ``sub`` up to ``sup``.
+
+    Returns the shortest chain of single-hierarchy-step widenings, the
+    empty tuple when the types are equal, or ``None`` when ``sub`` is not
+    a subtype of ``sup``. These exist because an expression's static type
+    is often a subtype of the parameter/receiver type the next elementary
+    jungloid declares, and jungloid composition is by exact type equality.
+    """
+    if sub == sup:
+        return ()
+    if not isinstance(sub, NamedType):
+        if registry.is_subtype(sub, sup):
+            return (widening(sub, sup),)
+        return None
+    # BFS over direct supertype edges.
+    parents: Dict[JavaType, JavaType] = {}
+    queue = deque([sub])
+    while queue:
+        current = queue.popleft()
+        if current == sup:
+            chain: List[ElementaryJungloid] = []
+            node = sup
+            while node != sub:
+                prev = parents[node]
+                chain.append(widening(prev, node))
+                node = prev
+            return tuple(reversed(chain))
+        if not isinstance(current, NamedType):
+            continue
+        for parent in registry.widening_targets(current):
+            if parent not in parents and parent != sub:
+                parents[parent] = current
+                queue.append(parent)
+    return None

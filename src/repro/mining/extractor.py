@@ -1,0 +1,473 @@
+"""Example-jungloid extraction (Section 4.2, "Extracting Jungloids").
+
+For every downcast in the corpus we take a backward, interprocedural,
+flow-insensitive slice and follow each acyclic data-flow path until it
+reaches a zero-argument expression, collecting elementary jungloids along
+the way. Call sites are interpreted both ways the paper describes:
+
+* an **API** method call is an elementary jungloid (one path per
+  reference-typed flow position);
+* a **client** method call is inlined — the walk continues into the
+  callee's return expressions, with parameters bound back to the
+  call-site arguments;
+* when the walk reaches a parameter of the *outermost* method, it jumps
+  to every CHA call site of that method and continues into the matching
+  argument (the interprocedural part of the slice).
+
+Branching (multiple assignments, multiple flow positions, both call
+interpretations) can explode, so extraction stops after a configurable
+maximum number of examples per cast — exactly the mitigation the paper
+uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..jungloids import (
+    ElementaryJungloid,
+    Jungloid,
+    constructor_call,
+    downcast,
+    field_access,
+    instance_call,
+    static_call,
+)
+from ..minijava.ast import (
+    CallExpr,
+    CastExpr,
+    CompilationUnit,
+    Expr,
+    FieldAccessExpr,
+    MethodDecl,
+    NewExpr,
+    Position,
+    ReturnStmt,
+    StringLit,
+    ThisExpr,
+    VarRef,
+    method_expressions,
+    walk_statements,
+)
+from ..minijava.callgraph import CallGraph, build_call_graph
+from ..typesystem import JavaType, NamedType, TypeRegistry, is_reference
+from .dataflow import AssignmentMap, build_assignment_map, widening_chain
+
+#: A partial chain of elementary jungloids, forward order, possibly empty.
+Chain = Tuple[ElementaryJungloid, ...]
+
+
+@dataclass(frozen=True)
+class ExampleJungloid:
+    """One mined example: a jungloid ending in a downcast, with provenance."""
+
+    jungloid: Jungloid
+    source: str
+    method_name: str
+    cast_position: Position
+
+    @property
+    def final_cast(self) -> ElementaryJungloid:
+        return self.jungloid.steps[-1]
+
+    def __str__(self) -> str:
+        return f"{self.jungloid.describe()}  [{self.source} {self.method_name}() @{self.cast_position}]"
+
+
+@dataclass(frozen=True)
+class ExtractionConfig:
+    """Budgets bounding the branching backward walk."""
+
+    #: Stop after this many examples for one cast expression (paper's cap).
+    max_examples_per_cast: int = 200
+    #: Longest chain (in elementary jungloids) worth keeping.
+    max_steps: int = 12
+    #: Maximum interprocedural frame switches on one path.
+    max_frames: int = 8
+    #: Drop bare-downcast examples (they would overgeneralize the graph).
+    min_example_steps: int = 2
+
+
+class _Frame:
+    """One activation on the backward walk's interprocedural path."""
+
+    __slots__ = ("decl", "bindings", "receiver_binding", "depth")
+
+    def __init__(
+        self,
+        decl: MethodDecl,
+        bindings: Optional[Dict[str, Tuple[Expr, "_Frame"]]] = None,
+        receiver_binding: Optional[Tuple[Optional[Expr], "_Frame"]] = None,
+        depth: int = 0,
+    ):
+        self.decl = decl
+        self.bindings = bindings  # None for a top (non-inlined) frame
+        self.receiver_binding = receiver_binding
+        self.depth = depth
+
+
+class JungloidExtractor:
+    """Runs the backward slice over a resolved corpus."""
+
+    def __init__(
+        self,
+        registry: TypeRegistry,
+        units: Sequence[CompilationUnit],
+        corpus_types: Sequence[NamedType],
+        call_graph: Optional[CallGraph] = None,
+        config: ExtractionConfig = ExtractionConfig(),
+    ):
+        self.registry = registry
+        self.units = list(units)
+        self.corpus_type_set: Set[NamedType] = set(corpus_types)
+        self.call_graph = call_graph or build_call_graph(registry, units)
+        self.config = config
+        self._assignment_maps: Dict[int, AssignmentMap] = {}
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def extract_all(self) -> List[ExampleJungloid]:
+        """Extract example jungloids from every downcast in the corpus."""
+        examples: List[ExampleJungloid] = []
+        for unit in self.units:
+            for cls in unit.classes:
+                for method in cls.methods:
+                    for expr in method_expressions(method):
+                        if isinstance(expr, CastExpr) and self._is_downcast(expr):
+                            examples.extend(self.extract_from_cast(unit, method, expr))
+        return examples
+
+    def extract_from_cast(
+        self, unit: CompilationUnit, method: MethodDecl, cast: CastExpr
+    ) -> List[ExampleJungloid]:
+        """All (capped) example jungloids ending at one cast expression."""
+        frame = _Frame(method)
+        results: List[ExampleJungloid] = []
+        seen: Set[Chain] = set()
+        for chain in self._walk(cast, frame, set(), frozenset()):
+            if len(chain) < self.config.min_example_steps:
+                continue
+            if chain in seen:
+                continue
+            seen.add(chain)
+            try:
+                jungloid = Jungloid(chain)
+            except Exception:  # pragma: no cover - chains are built composable
+                continue
+            results.append(
+                ExampleJungloid(
+                    jungloid=jungloid,
+                    source=unit.source,
+                    method_name=method.name,
+                    cast_position=cast.position,
+                )
+            )
+            if len(results) >= self.config.max_examples_per_cast:
+                break
+        return results
+
+    # ------------------------------------------------------------------
+    # The backward walk
+    # ------------------------------------------------------------------
+
+    def _is_downcast(self, cast: CastExpr) -> bool:
+        target, operand = cast.resolved_type, cast.operand_type
+        if target is None or operand is None:
+            return False
+        if not (is_reference(target) and is_reference(operand)):
+            return False
+        if target == operand:
+            return False
+        # A widening cast is redundant, not a downcast.
+        return not self.registry.is_subtype(operand, target)
+
+    def _assignments(self, method: MethodDecl) -> AssignmentMap:
+        amap = self._assignment_maps.get(id(method))
+        if amap is None:
+            amap = build_assignment_map(method)
+            self._assignment_maps[id(method)] = amap
+        return amap
+
+    def _walk(
+        self,
+        expr: Expr,
+        frame: _Frame,
+        visiting: Set[Tuple[int, int]],
+        inline_stack: frozenset,
+    ) -> Iterator[Chain]:
+        """Yield forward-order chains that compute ``expr``.
+
+        The empty chain means "the path starts here": the expression is a
+        terminal (literal, unbound parameter, ``this``, opaque operator).
+        """
+        key = (id(expr), id(frame))
+        if key in visiting:
+            return
+        visiting = visiting | {key}
+
+        if isinstance(expr, CastExpr):
+            yield from self._walk_cast(expr, frame, visiting, inline_stack)
+        elif isinstance(expr, CallExpr):
+            yield from self._walk_call(expr, frame, visiting, inline_stack)
+        elif isinstance(expr, NewExpr):
+            yield from self._walk_new(expr, frame, visiting, inline_stack)
+        elif isinstance(expr, FieldAccessExpr):
+            yield from self._walk_field(expr, frame, visiting, inline_stack)
+        elif isinstance(expr, VarRef):
+            yield from self._walk_var(expr, frame, visiting, inline_stack)
+        elif isinstance(expr, ThisExpr):
+            binding = frame.receiver_binding
+            if binding is not None and binding[0] is not None:
+                yield from self._walk(binding[0], binding[1], visiting, inline_stack)
+            else:
+                yield ()
+        else:
+            # Literals and opaque expressions terminate the path.
+            yield ()
+
+    def _walk_cast(
+        self, cast: CastExpr, frame: _Frame, visiting, inline_stack
+    ) -> Iterator[Chain]:
+        target = cast.resolved_type
+        operand_type = cast.operand_type
+        if target is None or operand_type is None:
+            return
+        step = downcast(operand_type, target)
+        for chain in self._walk(cast.operand, frame, visiting, inline_stack):
+            extended = self._append(chain, cast.operand, step)
+            if extended is not None:
+                yield extended
+
+    def _walk_call(
+        self, call: CallExpr, frame: _Frame, visiting, inline_stack
+    ) -> Iterator[Chain]:
+        method = call.resolved_method
+        if method is None:
+            return
+        is_client = isinstance(method.owner, NamedType) and method.owner in self.corpus_type_set
+        body = self.call_graph.declaration_of(method)
+        if is_client and body is not None:
+            # Client methods are always inlined (they are not API members).
+            yield from self._inline_call(call, body, frame, visiting, inline_stack)
+            return
+        # API method: interpret as an elementary jungloid.
+        variants = static_call(method) if method.static else instance_call(method)
+        yield from self._walk_variants(call, variants, frame, visiting, inline_stack)
+
+    def _walk_variants(
+        self,
+        call: CallExpr,
+        variants: Sequence[ElementaryJungloid],
+        frame: _Frame,
+        visiting,
+        inline_stack,
+    ) -> Iterator[Chain]:
+        from ..jungloids.elementary import NO_INPUT, RECEIVER
+
+        for variant in variants:
+            if variant.flow_position == NO_INPUT:
+                yield (variant,)
+                continue
+            if variant.flow_position == RECEIVER:
+                receiver = call.receiver
+                if receiver is None:
+                    receiver = _implicit_this(call, frame)
+                    if receiver is None:
+                        continue
+                feed = receiver
+            else:
+                if variant.flow_position >= len(call.args):
+                    continue
+                feed = call.args[variant.flow_position]
+            for chain in self._walk(feed, frame, visiting, inline_stack):
+                extended = self._append(chain, feed, variant)
+                if extended is not None:
+                    yield extended
+
+    def _inline_call(
+        self,
+        call: CallExpr,
+        body_decl: MethodDecl,
+        frame: _Frame,
+        visiting,
+        inline_stack,
+    ) -> Iterator[Chain]:
+        if id(body_decl) in inline_stack or frame.depth >= self.config.max_frames:
+            return
+        bindings: Dict[str, Tuple[Expr, _Frame]] = {}
+        for param, arg in zip(body_decl.params, call.args):
+            bindings[param.name] = (arg, frame)
+        receiver_binding: Optional[Tuple[Optional[Expr], _Frame]] = None
+        if call.resolved_method is not None and not call.resolved_method.static:
+            receiver_binding = (call.receiver, frame)
+        callee_frame = _Frame(
+            body_decl, bindings=bindings, receiver_binding=receiver_binding, depth=frame.depth + 1
+        )
+        new_stack = inline_stack | {id(body_decl)}
+        for ret in _return_expressions(body_decl):
+            yield from self._walk(ret, callee_frame, visiting, new_stack)
+
+    def _walk_new(
+        self, new: NewExpr, frame: _Frame, visiting, inline_stack
+    ) -> Iterator[Chain]:
+        ctor = new.resolved_constructor
+        if ctor is None:
+            return
+        variants = constructor_call(ctor)
+        from ..jungloids.elementary import NO_INPUT
+
+        for variant in variants:
+            if variant.flow_position == NO_INPUT:
+                yield (variant,)
+                continue
+            if variant.flow_position >= len(new.args):
+                continue
+            feed = new.args[variant.flow_position]
+            for chain in self._walk(feed, frame, visiting, inline_stack):
+                extended = self._append(chain, feed, variant)
+                if extended is not None:
+                    yield extended
+
+    def _walk_field(
+        self, access: FieldAccessExpr, frame: _Frame, visiting, inline_stack
+    ) -> Iterator[Chain]:
+        f = access.resolved_field
+        if f is None:
+            return  # array .length etc.
+        step = field_access(f)
+        if f.static:
+            yield (step,)
+            return
+        for chain in self._walk(access.receiver, frame, visiting, inline_stack):
+            extended = self._append(chain, access.receiver, step)
+            if extended is not None:
+                yield extended
+
+    def _walk_var(
+        self, var: VarRef, frame: _Frame, visiting, inline_stack
+    ) -> Iterator[Chain]:
+        if var.resolved_kind == "field":
+            f = var.resolved_field
+            if f is None:
+                return
+            step = field_access(f)
+            if f.static:
+                yield (step,)
+                return
+            # Implicit this.field read.
+            this = frame.receiver_binding
+            if this is not None and this[0] is not None:
+                for chain in self._walk(this[0], this[1], visiting, inline_stack):
+                    extended = self._append(chain, this[0], step)
+                    if extended is not None:
+                        yield extended
+            else:
+                yield (step,)
+            return
+        if var.resolved_kind == "param":
+            binding = frame.bindings.get(var.name) if frame.bindings is not None else None
+            if binding is not None:
+                yield from self._walk(binding[0], binding[1], visiting, inline_stack)
+                return
+            yield from self._jump_to_callers(var, frame, visiting, inline_stack)
+            return
+        # Local variable: every expression ever assigned to it.
+        amap = self._assignments(frame.decl)
+        sources = amap.sources_of(var.name)
+        if not sources:
+            yield ()
+            return
+        for source in sources:
+            yield from self._walk(source, frame, visiting, inline_stack)
+
+    def _jump_to_callers(
+        self, var: VarRef, frame: _Frame, visiting, inline_stack
+    ) -> Iterator[Chain]:
+        """Top-frame parameter: continue into arguments at CHA call sites."""
+        decl = frame.decl
+        method = decl.resolved_method
+        index = next((i for i, p in enumerate(decl.params) if p.name == var.name), None)
+        if method is None or index is None or frame.depth >= self.config.max_frames:
+            yield ()
+            return
+        sites = self.call_graph.call_sites_of(method)
+        if not sites or id(decl) in inline_stack:
+            yield ()
+            return
+        new_stack = inline_stack | {id(decl)}
+        produced = False
+        for site in sites:
+            if id(site.caller) in inline_stack:
+                continue
+            if index >= len(site.call.args):
+                continue
+            caller_frame = _Frame(site.caller, depth=frame.depth + 1)
+            for chain in self._walk(site.call.args[index], caller_frame, visiting, new_stack):
+                produced = True
+                yield chain
+        if not produced:
+            yield ()
+
+    # ------------------------------------------------------------------
+    # Chain plumbing
+    # ------------------------------------------------------------------
+
+    def _append(
+        self, chain: Chain, feed_expr: Expr, step: ElementaryJungloid
+    ) -> Optional[Chain]:
+        """Extend ``chain`` with ``step``, inserting widening conversions.
+
+        ``feed_expr`` is the expression the chain computes; its static type
+        (or the chain's final output type) must widen to ``step``'s input.
+        """
+        if len(chain) >= self.config.max_steps:
+            return None
+        end_type: Optional[JavaType]
+        end_type = chain[-1].output_type if chain else feed_expr.resolved_type
+        if end_type is None:
+            # A null literal fed the flow; no object actually travels.
+            return None
+        bridge = widening_chain(self.registry, end_type, step.input_type)
+        if bridge is None:
+            return None
+        if len(chain) + len(bridge) + 1 > self.config.max_steps + 2:
+            return None
+        return chain + bridge + (step,)
+
+
+def _return_expressions(decl: MethodDecl) -> List[Expr]:
+    if decl.body is None:
+        return []
+    returns = []
+    for stmt in walk_statements(decl.body):
+        if isinstance(stmt, ReturnStmt) and stmt.value is not None:
+            returns.append(stmt.value)
+    return returns
+
+
+def _implicit_this(call: CallExpr, frame: _Frame) -> Optional[Expr]:
+    """Materialize the implicit ``this`` receiver of an unqualified call."""
+    binding = frame.receiver_binding
+    if binding is not None and binding[0] is not None:
+        return binding[0]
+    owner = frame.decl.owner_type
+    if owner is None:
+        return None
+    synthetic = ThisExpr(position=call.position)
+    synthetic.resolved_type = owner
+    return synthetic
+
+
+def extract_examples(
+    registry: TypeRegistry,
+    units: Sequence[CompilationUnit],
+    corpus_types: Sequence[NamedType],
+    config: ExtractionConfig = ExtractionConfig(),
+    call_graph: Optional[CallGraph] = None,
+) -> List[ExampleJungloid]:
+    """Convenience wrapper: extract all example jungloids from a corpus."""
+    extractor = JungloidExtractor(registry, units, corpus_types, call_graph, config)
+    return extractor.extract_all()

@@ -1,0 +1,113 @@
+"""Generalizing example jungloids (Section 4.2, Figure 7).
+
+An extracted example usually carries an unneeded prefix: only a suffix of
+the calls establishes the state in which the final downcast succeeds.
+Generalization finds, for each example, the **shortest suffix that
+distinguishes it from examples ending in different casts** — the paper's
+rule: if two examples are ``β.a.α.(T)`` and ``γ.b.α.(U)`` with ``a ≠ b``
+and ``T ≠ U``, both must retain their differing elementary plus the
+common part ``α``.
+
+The algorithm stores the examples' pre-cast step sequences reversed in a
+trie whose nodes record the set of final casts beneath them; an example's
+retained suffix ends at the shallowest trie node all of whose examples
+share its cast (never shallower than one elementary — a bare downcast
+would represent every jungloid with that cast, the catastrophic
+overgeneralization of Section 4.1). Cost is ``O(n·k)`` in the total
+number of elementary jungloids and cast types, as the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..jungloids import ElementaryJungloid, Jungloid
+from .extractor import ExampleJungloid
+
+#: Key identifying a downcast for conflict purposes: its output type.
+CastKey = str
+
+
+def _cast_key(step: ElementaryJungloid) -> CastKey:
+    return str(step.output_type)
+
+
+class _TrieNode:
+    __slots__ = ("children", "casts")
+
+    def __init__(self):
+        self.children: Dict[ElementaryJungloid, "_TrieNode"] = {}
+        self.casts: Set[CastKey] = set()
+
+
+@dataclass(frozen=True)
+class GeneralizedExample:
+    """An example jungloid together with its retained suffix."""
+
+    example: ExampleJungloid
+    suffix: Jungloid
+
+    @property
+    def trimmed_steps(self) -> int:
+        return len(self.example.jungloid) - len(self.suffix)
+
+
+def generalize_examples(
+    examples: Sequence[ExampleJungloid], min_precast_steps: int = 1
+) -> List[GeneralizedExample]:
+    """Compute the shortest distinguishing suffix of every example.
+
+    ``min_precast_steps`` is the minimum number of pre-cast elementary
+    jungloids always retained (default 1: never a bare downcast).
+    """
+    casted = [e for e in examples if e.jungloid.steps and e.jungloid.steps[-1].is_downcast]
+    root = _TrieNode()
+    for example in casted:
+        key = _cast_key(example.final_cast)
+        node = root
+        node.casts.add(key)
+        for step in reversed(example.jungloid.steps[:-1]):
+            child = node.children.get(step)
+            if child is None:
+                child = _TrieNode()
+                node.children[step] = child
+            child.casts.add(key)
+            node = child
+
+    results: List[GeneralizedExample] = []
+    for example in casted:
+        pre_cast = example.jungloid.steps[:-1]
+        key = _cast_key(example.final_cast)
+        node = root
+        retained: Optional[int] = None
+        for depth, step in enumerate(reversed(pre_cast), start=1):
+            node = node.children[step]
+            if depth >= min_precast_steps and node.casts == {key}:
+                retained = depth
+                break
+        if retained is None:
+            retained = len(pre_cast)
+        retained = max(retained, min(min_precast_steps, len(pre_cast)))
+        suffix_steps = pre_cast[len(pre_cast) - retained :] + (example.jungloid.steps[-1],)
+        results.append(GeneralizedExample(example, Jungloid(suffix_steps)))
+    return results
+
+
+def unique_suffixes(generalized: Sequence[GeneralizedExample]) -> List[Jungloid]:
+    """Deduplicate retained suffixes (many examples share one idiom)."""
+    seen: Set[Tuple[ElementaryJungloid, ...]] = set()
+    out: List[Jungloid] = []
+    for g in generalized:
+        key = g.suffix.steps
+        if key not in seen:
+            seen.add(key)
+            out.append(g.suffix)
+    return out
+
+
+def generalize_to_suffixes(
+    examples: Sequence[ExampleJungloid], min_precast_steps: int = 1
+) -> List[Jungloid]:
+    """End-to-end: generalize then deduplicate, ready for grafting."""
+    return unique_suffixes(generalize_examples(examples, min_precast_steps))

@@ -1,0 +1,25 @@
+"""Mock Java runtime: execute jungloids to measure viability."""
+
+from .eclipse_model import eclipse_behavior_model
+from .interpreter import (
+    BehaviorModel,
+    ExecutionResult,
+    Outcome,
+    Runtime,
+    SimObject,
+    SimulatedClassCastException,
+    SimulatedNullPointerException,
+    classify_results,
+)
+
+__all__ = [
+    "BehaviorModel",
+    "ExecutionResult",
+    "Outcome",
+    "Runtime",
+    "SimObject",
+    "SimulatedClassCastException",
+    "SimulatedNullPointerException",
+    "classify_results",
+    "eclipse_behavior_model",
+]

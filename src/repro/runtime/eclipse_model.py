@@ -1,0 +1,169 @@
+"""The ground-truth behavior model for the bundled Eclipse/J2SE stubs.
+
+These rules encode the run-time facts the corpus idioms depend on —
+the facts Java signatures cannot express (Section 4.1): which concrete
+types flow out of `Object`-returning methods, what a debugger viewer's
+selection actually contains, which editor implementation the workbench
+hands back. Jungloid mining exists precisely because these rules are
+invisible to the type system; here they serve as the oracle against
+which we *measure* viability.
+"""
+
+from __future__ import annotations
+
+from ..typesystem import TypeRegistry
+from .interpreter import BehaviorModel
+
+
+def eclipse_behavior_model(registry: TypeRegistry) -> BehaviorModel:
+    """Behavior rules matching the bundled corpus's idioms."""
+    model = BehaviorModel(registry)
+
+    # --- workbench: parts and editors ---------------------------------
+    model.returns_type(
+        "org.eclipse.ui.IWorkbenchPage",
+        "getActiveEditor",
+        "org.eclipse.ui.editors.text.TextEditor",
+    )
+    model.returns_type(
+        "org.eclipse.ui.IWorkbenchPage",
+        "getActivePart",
+        "org.eclipse.debug.ui.AbstractDebugView",
+    )
+    model.returns_type(
+        "org.eclipse.core.runtime.IAdaptable",
+        "getAdapter",
+        "org.eclipse.debug.ui.AbstractDebugView",
+    )
+    model.returns_type(
+        "org.eclipse.ui.IEditorPart",
+        "getEditorInput",
+        "org.eclipse.ui.IFileEditorInput",
+    )
+
+    # --- selections: state-dependent element types --------------------
+    # A viewer's selection holds elements whose type depends on the view;
+    # the default (a debug view's viewer) holds watch expressions.
+    model.returns_type(
+        "org.eclipse.debug.ui.IDebugView",
+        "getViewer",
+        "org.eclipse.jface.viewers.TableViewer",
+        element_type="org.eclipse.jdt.internal.debug.ui.display.JavaInspectExpression",
+    )
+    model.rule(
+        "org.eclipse.jface.viewers.Viewer",
+        "getSelection",
+        lambda rt, recv: rt.new_object(
+            rt.registry.lookup("org.eclipse.jface.viewers.StructuredSelection"),
+            {
+                "element_type": (recv.attrs.get("element_type") if recv else None)
+                or "org.eclipse.jdt.internal.debug.ui.display.JavaInspectExpression"
+            },
+        ),
+    )
+    # Workbench-level selections hold the selected resource.
+    model.rule(
+        "org.eclipse.ui.IWorkbenchPage",
+        "getSelection",
+        lambda rt, recv: rt.new_object(
+            rt.registry.lookup("org.eclipse.jface.viewers.StructuredSelection"),
+            {"element_type": "org.eclipse.core.resources.IFile"},
+        ),
+    )
+    model.rule(
+        "org.eclipse.jface.viewers.SelectionChangedEvent",
+        "getSelection",
+        lambda rt, recv: rt.new_object(
+            rt.registry.lookup("org.eclipse.jface.viewers.StructuredSelection"),
+            {"element_type": "org.eclipse.core.resources.IFile"},
+        ),
+    )
+
+    def first_element(rt, recv):
+        name = recv.attrs.get("element_type") if recv else None
+        if name is None:
+            return None
+        return rt.new_object(rt.registry.lookup(name))
+
+    model.rule(
+        "org.eclipse.jface.viewers.IStructuredSelection", "getFirstElement", first_element
+    )
+
+    # --- GEF / SWT ------------------------------------------------------
+    model.returns_type(
+        "org.eclipse.gef.EditPartViewer",
+        "getControl",
+        "org.eclipse.draw2d.FigureCanvas",
+    )
+    model.returns_type(
+        "org.eclipse.swt.events.TypedEvent", "widget", "org.eclipse.swt.widgets.Text"
+    )
+    model.returns_type(
+        "org.eclipse.ui.IActionBars",
+        "getMenuManager",
+        "org.eclipse.jface.action.MenuManager",
+    )
+
+    # --- legacy collections ----------------------------------------------
+    model.rule(
+        "org.apache.tools.ant.Project",
+        "getTargets",
+        lambda rt, recv: rt.new_object(
+            rt.registry.lookup("java.util.Hashtable"),
+            {"value_type": "org.apache.tools.ant.Target"},
+        ),
+    )
+    model.rule(
+        "org.apache.tools.ant.Project",
+        "getProperties",
+        lambda rt, recv: rt.new_object(
+            rt.registry.lookup("java.util.Hashtable"),
+            {"value_type": "java.lang.String"},
+        ),
+    )
+    model.returns_attr_type("java.util.Dictionary", "get", "value_type")
+    model.returns_attr_type("java.util.Map", "get", "value_type")
+
+    model.rule(
+        "java.util.Map",
+        "entrySet",
+        lambda rt, recv: rt.new_object(
+            rt.registry.lookup("java.util.HashSet"),
+            {"element_type": "java.util.MapEntry"},
+        ),
+    )
+    model.rule(
+        "java.util.Collection",
+        "iterator",
+        lambda rt, recv: rt.new_object(
+            rt.registry.lookup("java.util.Iterator"),
+            {"element_type": (recv.attrs.get("element_type") if recv else None)},
+        ),
+    )
+    model.returns_attr_type("java.util.Iterator", "next", "element_type")
+    model.returns_type("java.util.MapEntry", "getKey", "java.lang.String")
+    model.returns_attr_type("java.util.Vector", "elementAt", "element_type")
+    model.seeds("java.util.Vector", element_type="java.lang.String")
+
+    # --- zip archives -----------------------------------------------------
+    model.rule(
+        "java.util.zip.ZipFile",
+        "entries",
+        lambda rt, recv: rt.new_object(
+            rt.registry.lookup("java.util.StringTokenizer"),  # any Enumeration impl
+            {"element_type": "java.util.zip.ZipEntry"},
+        ),
+    )
+    model.returns_attr_type("java.util.Enumeration", "nextElement", "element_type")
+
+    # --- JDBC: result values are strings for text columns ------------------
+    model.returns_type("java.sql.ResultSet", "getObject", "java.lang.String")
+
+    # --- selection dialogs return what was put in --------------------------
+    model.returns_type(
+        "org.eclipse.ui.dialogs.ElementListSelectionDialog",
+        "getFirstResult",
+        "org.eclipse.core.resources.IFile",
+    )
+
+    return model

@@ -1,0 +1,272 @@
+"""A mock Java runtime that executes jungloids.
+
+The paper's core empirical claims are about *viability*: a jungloid is
+viable if some environment makes it return normally (Section 4.1), the
+top-ranked jungloids "usually return a non-null value without throwing
+an exception" (Section 3.2), and corpus examples "are almost always
+viable" (Section 4.2). The original authors could observe this by
+running Java; we build the equivalent substrate — a small interpreter
+over simulated objects, with a pluggable :class:`BehaviorModel` that
+plays the role of the real library implementations:
+
+* every simulated object carries a **dynamic type** (and optional
+  attributes modeling hidden state such as "what kind of element this
+  selection holds");
+* calls and field reads produce results according to the model's rules
+  (or a conservative default derived from the declared type);
+* widening always succeeds; a **downcast** succeeds iff the operand's
+  dynamic type is a subtype of the target — exactly Java's rule — and
+  otherwise raises a simulated ``ClassCastException``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, Optional, Tuple
+
+from ..jungloids import ElementaryKind, Jungloid
+from ..typesystem import (
+    Constructor,
+    Field as TsField,
+    JavaType,
+    Method,
+    NamedType,
+    TypeKind,
+    TypeRegistry,
+    VOID,
+    is_reference,
+)
+
+
+@dataclass
+class SimObject:
+    """One simulated heap object."""
+
+    dynamic_type: JavaType
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"<{self.dynamic_type}>"
+
+
+class SimulatedClassCastException(Exception):
+    """Raised when a downcast fails at (simulated) run time."""
+
+    def __init__(self, dynamic_type: JavaType, target: JavaType):
+        super().__init__(f"cannot cast {dynamic_type} to {target}")
+        self.dynamic_type = dynamic_type
+        self.target = target
+
+
+class SimulatedNullPointerException(Exception):
+    """Raised when a member is invoked on a null value."""
+
+
+#: A behavior rule: (runtime state, receiver-or-input) -> result or None (null).
+Effect = Callable[["Runtime", Optional[SimObject]], Optional[SimObject]]
+
+#: Rule key: (declaring owner qualified name, member name).
+RuleKey = Tuple[str, str]
+
+
+class BehaviorModel:
+    """Ground-truth behavior for API members.
+
+    ``rules`` override specific members; everything else falls back to a
+    conservative default: the result's dynamic type is the declared
+    return type if it is instantiable, else its unique "default concrete
+    subtype" if the model names one, else the declared type itself. A
+    method declared to return ``Object`` therefore yields a plain
+    ``Object`` by default — which makes un-mined downcasts fail, matching
+    reality (Section 4.1's inviable jungloids).
+    """
+
+    def __init__(self, registry: TypeRegistry):
+        self.registry = registry
+        self.rules: Dict[RuleKey, Effect] = {}
+        #: Attributes given to objects seeded/created per dynamic type.
+        self.seed_attrs: Dict[str, Dict[str, object]] = {}
+
+    # -- configuration ---------------------------------------------------
+
+    def rule(self, owner: str, member: str, effect: Effect) -> "BehaviorModel":
+        self.rules[(owner, member)] = effect
+        return self
+
+    def returns_type(self, owner: str, member: str, result_type: str, **attrs) -> "BehaviorModel":
+        """Shorthand: the member returns a fresh object of ``result_type``."""
+        t = self.registry.lookup(result_type)
+
+        def effect(runtime: "Runtime", _recv: Optional[SimObject]) -> Optional[SimObject]:
+            return runtime.new_object(t, dict(attrs))
+
+        return self.rule(owner, member, effect)
+
+    def returns_null(self, owner: str, member: str) -> "BehaviorModel":
+        return self.rule(owner, member, lambda _rt, _recv: None)
+
+    def returns_attr_type(
+        self, owner: str, member: str, attr: str, default: Optional[str] = None
+    ) -> "BehaviorModel":
+        """The member returns an object whose type is the receiver's
+        ``attr`` attribute (modeling state-dependent results such as
+        "the element this selection holds")."""
+
+        def effect(runtime: "Runtime", recv: Optional[SimObject]) -> Optional[SimObject]:
+            t = None
+            if recv is not None:
+                t = recv.attrs.get(attr)
+            if t is None and default is not None:
+                t = default
+            if t is None:
+                return None
+            if isinstance(t, str):
+                t = self.registry.lookup(t)
+            return runtime.new_object(t)  # type: ignore[arg-type]
+
+        return self.rule(owner, member, effect)
+
+    def seeds(self, type_name: str, **attrs) -> "BehaviorModel":
+        """Default attributes for objects of a given dynamic type."""
+        self.seed_attrs[type_name] = dict(attrs)
+        return self
+
+    # -- lookup ------------------------------------------------------------
+
+    def effect_for(self, owner: JavaType, member_name: str) -> Optional[Effect]:
+        """Find a rule for a member, walking up the declaring hierarchy."""
+        if isinstance(owner, NamedType):
+            for t in (owner,) + self.registry.all_supertypes(owner):
+                rule = self.rules.get((str(t), member_name))
+                if rule is not None:
+                    return rule
+        return self.rules.get((str(owner), member_name))
+
+    def default_dynamic_type(self, declared: JavaType) -> JavaType:
+        """The dynamic type a default result takes."""
+        if not isinstance(declared, NamedType):
+            return declared
+        try:
+            decl = self.registry.declaration_of(declared)
+        except Exception:
+            return declared
+        if decl.kind is TypeKind.CLASS and not decl.abstract:
+            return declared
+        # Abstract/interface: pick the first concrete subtype, if any.
+        for sub in self.registry.all_subtypes(declared):
+            sub_decl = self.registry.declaration_of(sub)
+            if sub_decl.kind is TypeKind.CLASS and not sub_decl.abstract:
+                return sub
+        return declared
+
+
+class Outcome(Enum):
+    """Result classification for one jungloid execution."""
+
+    VIABLE = "viable"  # returned a non-null value of the output type
+    NULL = "null"  # completed but produced null
+    CLASS_CAST = "class-cast-exception"
+    NULL_POINTER = "null-pointer-exception"
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    outcome: Outcome
+    value: Optional[SimObject]
+    failed_step: Optional[int] = None  # index of the step that threw
+
+    @property
+    def viable(self) -> bool:
+        return self.outcome is Outcome.VIABLE
+
+
+class Runtime:
+    """Executes jungloids against a behavior model."""
+
+    def __init__(self, model: BehaviorModel):
+        self.model = model
+        self.registry = model.registry
+
+    # -- heap --------------------------------------------------------------
+
+    def new_object(self, dynamic_type: JavaType, attrs: Optional[Dict[str, object]] = None) -> SimObject:
+        merged = dict(self.model.seed_attrs.get(str(dynamic_type), {}))
+        if attrs:
+            merged.update(attrs)
+        return SimObject(dynamic_type, merged)
+
+    def seed(self, declared_type: JavaType) -> SimObject:
+        """An input object for a query: dynamic type defaults per model."""
+        return self.new_object(self.model.default_dynamic_type(declared_type))
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, jungloid: Jungloid, seed: Optional[SimObject] = None) -> ExecutionResult:
+        """Run a jungloid; free variables are filled with seeded objects."""
+        current: Optional[SimObject]
+        if jungloid.input_type == VOID:
+            current = None
+        else:
+            current = seed if seed is not None else self.seed(jungloid.input_type)
+        for index, step in enumerate(jungloid.steps):
+            try:
+                current = self._step(step, current)
+            except SimulatedClassCastException:
+                return ExecutionResult(Outcome.CLASS_CAST, None, failed_step=index)
+            except SimulatedNullPointerException:
+                return ExecutionResult(Outcome.NULL_POINTER, None, failed_step=index)
+        if current is None:
+            return ExecutionResult(Outcome.NULL, None)
+        return ExecutionResult(Outcome.VIABLE, current)
+
+    def _step(self, step, current: Optional[SimObject]) -> Optional[SimObject]:
+        kind = step.kind
+        if kind is ElementaryKind.WIDENING:
+            return current
+        if kind is ElementaryKind.DOWNCAST:
+            if current is None:
+                return None  # (T) null is legal Java
+            if not self.registry.is_subtype(current.dynamic_type, step.output_type):
+                raise SimulatedClassCastException(current.dynamic_type, step.output_type)
+            return current
+        member = step.member
+        # Receiver-flowing instance members need a non-null receiver.
+        needs_receiver = kind in (ElementaryKind.INSTANCE_CALL, ElementaryKind.FIELD_ACCESS)
+        from ..jungloids.elementary import RECEIVER
+
+        receiver: Optional[SimObject]
+        if needs_receiver and step.flow_position == RECEIVER and not getattr(member, "static", False):
+            if current is None:
+                raise SimulatedNullPointerException()
+            receiver = current
+        elif kind is ElementaryKind.INSTANCE_CALL:
+            # The input flows through a parameter; the receiver is a free
+            # variable, filled with a seeded object.
+            receiver = self.seed(member.owner)
+        else:
+            receiver = current
+        owner = getattr(member, "owner", None)
+        name = getattr(member, "name", None)
+        if kind is ElementaryKind.CONSTRUCTOR:
+            return self.new_object(step.output_type)
+        effect = self.model.effect_for(owner, name) if owner is not None else None
+        if effect is not None:
+            return effect(self, receiver)
+        # Default behavior: fresh object of the default dynamic type.
+        if not is_reference(step.output_type):
+            # Primitive-returning members cannot appear mid-jungloid, but
+            # guard anyway: produce a typeless marker object.
+            return SimObject(step.output_type)
+        return self.new_object(self.model.default_dynamic_type(step.output_type))
+
+
+def classify_results(
+    runtime: Runtime, jungloids, seed: Optional[SimObject] = None
+) -> Dict[Outcome, int]:
+    """Execute a batch and tally outcomes."""
+    counts: Dict[Outcome, int] = {}
+    for j in jungloids:
+        outcome = runtime.execute(j, seed).outcome
+        counts[outcome] = counts.get(outcome, 0) + 1
+    return counts

@@ -1,0 +1,25 @@
+"""Graph search and the PROSPECTOR ranking heuristic."""
+
+from .cluster import Cluster, cluster_results, representatives, type_chain
+from .engine import GraphSearch, SearchConfig, SearchResult
+from .paths import UNREACHABLE, count_paths, distances_to, enumerate_paths, shortest_length
+from .ranking import RankKey, package_crossings, rank, rank_key, true_output_type
+
+__all__ = [
+    "Cluster",
+    "GraphSearch",
+    "RankKey",
+    "SearchConfig",
+    "SearchResult",
+    "UNREACHABLE",
+    "cluster_results",
+    "count_paths",
+    "distances_to",
+    "enumerate_paths",
+    "package_crossings",
+    "rank",
+    "rank_key",
+    "representatives",
+    "shortest_length",
+    "type_chain",
+]

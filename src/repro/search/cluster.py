@@ -1,0 +1,70 @@
+"""Result clustering — the paper's "future work" fix for parallel paths.
+
+The one ranking failure the paper analyses, ``(IWorkspace, IFile)``,
+happens because many *similar parallel* jungloids (same type chain,
+different methods) crowd the desired jungloid out of the top of the list.
+Section 7 suggests "identifying clusters of similar jungloids and
+presenting to the user only one representative of the cluster"; this
+module implements that suggestion so the ablation benchmark can measure
+how much it helps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..jungloids import Jungloid
+from ..typesystem import JavaType
+
+
+def type_chain(jungloid: Jungloid) -> Tuple[JavaType, ...]:
+    """The sequence of types visited, with widening steps collapsed.
+
+    Two jungloids with the same chain differ only in *which* member they
+    call at each hop — the paper's "similar parallel jungloids".
+    """
+    chain = [jungloid.input_type]
+    for step in jungloid.steps:
+        if step.is_widening:
+            continue
+        chain.append(step.output_type)
+    return tuple(chain)
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A group of parallel jungloids with one representative."""
+
+    chain: Tuple[JavaType, ...]
+    members: Tuple[Jungloid, ...]
+
+    @property
+    def representative(self) -> Jungloid:
+        """The best-ranked member (members keep their incoming order)."""
+        return self.members[0]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def cluster_results(jungloids: Sequence[Jungloid]) -> List[Cluster]:
+    """Group an already-ranked result list into parallel-path clusters.
+
+    Input order is assumed best-first; each cluster's first member (and
+    the cluster order itself) preserves that ranking.
+    """
+    order: List[Tuple[JavaType, ...]] = []
+    groups = {}
+    for j in jungloids:
+        chain = type_chain(j)
+        if chain not in groups:
+            groups[chain] = []
+            order.append(chain)
+        groups[chain].append(j)
+    return [Cluster(chain, tuple(groups[chain])) for chain in order]
+
+
+def representatives(jungloids: Sequence[Jungloid]) -> List[Jungloid]:
+    """Collapse a ranked list to one representative per cluster."""
+    return [c.representative for c in cluster_results(jungloids)]

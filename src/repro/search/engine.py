@@ -1,0 +1,159 @@
+"""The query engine: bounded k-shortest-path search plus ranking.
+
+Reproduces Section 5's configuration: for a query ``(t_in, t_out)`` with
+shortest solution length ``m``, construct all acyclic paths of length
+≤ ``m + extra_cost`` (paper: ``m+1``), convert them to jungloids, and
+rank. Multi-source queries (one per visible variable, plus ``void``)
+share one backward distance map, so they cost about the same as a single
+query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..graph import Node, SignatureGraph
+from ..jungloids import CostModel, DEFAULT_COST_MODEL, Jungloid
+from ..typesystem import JavaType, VOID
+from .paths import UNREACHABLE, distances_to, enumerate_paths
+from .ranking import rank, rank_key
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Tunable search parameters (defaults = the paper's implementation)."""
+
+    #: Window above the cheapest cost: the paper searches ``m + 1``.
+    extra_cost: int = 1
+    #: Hard cap on the cost of any path, guarding degenerate graphs.
+    absolute_max_cost: int = 10
+    #: Cap on raw paths enumerated per source node.
+    max_paths_per_source: int = 4000
+    #: Cap on ranked results returned to the caller.
+    max_results: int = 100
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked solution: the jungloid plus which source produced it."""
+
+    jungloid: Jungloid
+    source_type: JavaType
+
+    @property
+    def is_void_source(self) -> bool:
+        return self.source_type == VOID
+
+
+class GraphSearch:
+    """Answers jungloid queries against a signature or jungloid graph."""
+
+    def __init__(
+        self,
+        graph: SignatureGraph,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        config: SearchConfig = SearchConfig(),
+    ):
+        self.graph = graph
+        self.cost_model = cost_model
+        self.config = config
+        self._dist_cache: Dict[Node, Dict[Node, int]] = {}
+
+    def _edge_cost(self, edge) -> int:
+        """Edge weight = the ranking heuristic's size estimate (§3.2)."""
+        return self.cost_model.step_total(edge.elementary)
+
+    # ------------------------------------------------------------------
+    # Single query
+    # ------------------------------------------------------------------
+
+    def solve(self, t_in: JavaType, t_out: JavaType) -> List[Jungloid]:
+        """All ranked solution jungloids for the query ``(t_in, t_out)``."""
+        results = self.solve_multi([t_in], t_out)
+        return [r.jungloid for r in results]
+
+    # ------------------------------------------------------------------
+    # Multi-source query (code-completion mode)
+    # ------------------------------------------------------------------
+
+    def solve_multi(
+        self, sources: Sequence[JavaType], t_out: JavaType
+    ) -> List[SearchResult]:
+        """Ranked solutions for every source at once, best first.
+
+        Each source gets its own ``m + extra`` window (a long-way source
+        must not be cut off because another source is adjacent to the
+        target), but all share the single backward distance map.
+        """
+        if not self.graph.has_node(t_out):
+            return []
+        dist = self._distances(t_out)
+        results: List[SearchResult] = []
+        seen_texts = set()
+        for source in _unique(sources):
+            if not self.graph.has_node(source):
+                continue
+            m = dist.get(source, UNREACHABLE)
+            if m >= UNREACHABLE:
+                continue
+            bound = min(m + self.config.extra_cost, self.config.absolute_max_cost)
+            for path in enumerate_paths(
+                self.graph,
+                source,
+                t_out,
+                bound,
+                dist=dist,
+                max_paths=self.config.max_paths_per_source,
+                edge_cost=self._edge_cost,
+            ):
+                jungloid = SignatureGraph.path_to_jungloid(path)
+                text = jungloid.render_expression("x")
+                key = (source, text)
+                if key in seen_texts:
+                    continue
+                seen_texts.add(key)
+                results.append(SearchResult(jungloid, source))
+        results.sort(
+            key=lambda r: rank_key(self.graph.registry, r.jungloid, self.cost_model)
+        )
+        return results[: self.config.max_results]
+
+    def solve_from_context(
+        self, visible_types: Sequence[JavaType], t_out: JavaType
+    ) -> List[SearchResult]:
+        """The completion reduction (Section 1): every visible variable's
+        type is a source, plus ``void`` for constructor/static chains."""
+        return self.solve_multi(list(visible_types) + [VOID], t_out)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+
+    def shortest_cost(self, t_in: JavaType, t_out: JavaType) -> Optional[int]:
+        """Cheapest solution cost for a query, or None if unreachable."""
+        if not self.graph.has_node(t_out):
+            return None
+        m = self._distances(t_out).get(t_in, UNREACHABLE)
+        return None if m >= UNREACHABLE else m
+
+    def _distances(self, target: Node) -> Dict[Node, int]:
+        cached = self._dist_cache.get(target)
+        if cached is None:
+            cached = distances_to(self.graph, target, edge_cost=self._edge_cost)
+            self._dist_cache[target] = cached
+        return cached
+
+    def with_config(self, **overrides) -> "GraphSearch":
+        """A copy of this search with config fields overridden."""
+        return GraphSearch(self.graph, self.cost_model, replace(self.config, **overrides))
+
+
+def _unique(items: Iterable[JavaType]) -> List[JavaType]:
+    seen = set()
+    out = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            out.append(item)
+    return out

@@ -1,0 +1,91 @@
+"""The ranking heuristic (Section 3.2).
+
+Jungloids are ordered by:
+
+1. **cost** — length (widening-free) plus 2 per reference-typed free
+   variable (the paper's empirically tuned estimate);
+2. **package boundary crossings** — jungloids that wander across many
+   packages (the Lucene ``HTMLParser`` detour) are less likely intended
+   than ones that stay near the endpoint packages;
+3. **generality of the true output type** — a jungloid whose final
+   non-widening step returns ``XMLEditor`` ranks below one returning the
+   requested ``IEditorPart`` itself: if the user wanted the subclass they
+   would have asked for it;
+4. a deterministic textual tie-break so results are stable run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..jungloids import CostModel, DEFAULT_COST_MODEL, Jungloid
+from ..typesystem import JavaType, TypeRegistry, VOID, generality_key, package_distance, type_package
+
+
+def true_output_type(jungloid: Jungloid) -> JavaType:
+    """Declared type produced by the last non-widening step.
+
+    Trailing widening steps only exist to reach the requested node; the
+    generality tie-break looks through them.
+    """
+    for step in reversed(jungloid.steps):
+        if not step.is_widening:
+            return step.output_type
+    return jungloid.output_type
+
+
+def package_crossings(jungloid: Jungloid) -> int:
+    """Total package-tree distance walked by the jungloid.
+
+    For each non-widening step we charge the distance from the current
+    object's package to the member's declaring package (finding the member
+    is a navigation step for the programmer too) and from there to the
+    output type's package. Casts charge input→output directly. ``void``
+    inputs charge nothing on the input side.
+    """
+    total = 0
+    for step in jungloid.steps:
+        if step.is_widening:
+            continue
+        in_pkg = type_package(step.input_type) if step.input_type != VOID else None
+        out_pkg = type_package(step.output_type)
+        owner = getattr(step.member, "owner", None)
+        if owner is not None:
+            owner_pkg = type_package(owner)
+            if in_pkg is not None:
+                total += package_distance(in_pkg, owner_pkg)
+            total += package_distance(owner_pkg, out_pkg)
+        elif in_pkg is not None:
+            total += package_distance(in_pkg, out_pkg)
+    return total
+
+
+@dataclass(frozen=True, order=True)
+class RankKey:
+    """Sort key: smaller ranks first."""
+
+    cost: int
+    crossings: int
+    generality: int
+    text: str
+
+
+def rank_key(
+    registry: TypeRegistry, jungloid: Jungloid, cost_model: CostModel = DEFAULT_COST_MODEL
+) -> RankKey:
+    return RankKey(
+        cost=cost_model.cost(jungloid),
+        crossings=package_crossings(jungloid),
+        generality=generality_key(registry, true_output_type(jungloid)),
+        text=jungloid.render_expression("x"),
+    )
+
+
+def rank(
+    registry: TypeRegistry,
+    jungloids: Sequence[Jungloid],
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> List[Jungloid]:
+    """Return ``jungloids`` sorted best-first by the paper's heuristic."""
+    return sorted(jungloids, key=lambda j: rank_key(registry, j, cost_model))

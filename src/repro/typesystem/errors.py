@@ -1,0 +1,51 @@
+"""Errors raised by the type-system model.
+
+All type-system errors derive from :class:`TypeSystemError` so that callers
+can catch model-level problems with a single ``except`` clause while letting
+genuine programming errors (``TypeError``, ``KeyError`` from unrelated code)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class TypeSystemError(Exception):
+    """Base class for all type-system model errors."""
+
+
+class DuplicateTypeError(TypeSystemError):
+    """A reference type with the same qualified name was already declared."""
+
+    def __init__(self, qualified_name: str):
+        super().__init__(f"type already declared: {qualified_name}")
+        self.qualified_name = qualified_name
+
+
+class UnknownTypeError(TypeSystemError):
+    """A qualified name was looked up but never declared."""
+
+    def __init__(self, qualified_name: str):
+        super().__init__(f"unknown type: {qualified_name}")
+        self.qualified_name = qualified_name
+
+
+class DuplicateMemberError(TypeSystemError):
+    """A member with an identical signature was already declared on a type."""
+
+    def __init__(self, owner: str, description: str):
+        super().__init__(f"duplicate member on {owner}: {description}")
+        self.owner = owner
+        self.description = description
+
+
+class HierarchyError(TypeSystemError):
+    """The declared class hierarchy is malformed (e.g. a subtyping cycle)."""
+
+
+class InvalidNameError(TypeSystemError):
+    """A type, package, or member name is not a valid Java-style name."""
+
+    def __init__(self, name: str, reason: str):
+        super().__init__(f"invalid name {name!r}: {reason}")
+        self.name = name
+        self.reason = reason

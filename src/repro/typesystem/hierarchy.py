@@ -1,0 +1,120 @@
+"""Derived hierarchy queries used by ranking and by the mini-Java checker.
+
+These are convenience algorithms layered over :class:`TypeRegistry`:
+least-upper-bound computation, assignability of call arguments, and the
+generality ordering the ranking heuristic needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .registry import TypeRegistry
+from .types import JavaType, NamedType, PrimitiveType, VoidType, is_reference
+
+
+def least_upper_bounds(registry: TypeRegistry, a: NamedType, b: NamedType) -> Tuple[NamedType, ...]:
+    """Minimal common supertypes of ``a`` and ``b``.
+
+    Java's LUB may be a set when interfaces are involved; we return all
+    minimal elements, most-specific first by hierarchy depth.
+    """
+    if registry.is_subtype(a, b):
+        return (b,)
+    if registry.is_subtype(b, a):
+        return (a,)
+    commons = set((a,) + registry.all_supertypes(a)) & set((b,) + registry.all_supertypes(b))
+    minimal: List[NamedType] = []
+    for c in commons:
+        if not any(other != c and registry.is_subtype(other, c) for other in commons):
+            minimal.append(c)
+    minimal.sort(key=lambda t: (-registry.depth(t), t.name))
+    return tuple(minimal)
+
+
+def is_assignable(registry: TypeRegistry, source: JavaType, target: JavaType) -> bool:
+    """Can a ``source`` value be used where a ``target`` is expected?
+
+    Reference types use widening (subtyping); primitives must match exactly
+    (we do not model numeric promotion — the paper excludes primitives from
+    synthesis entirely, footnote 4).
+    """
+    if source == target:
+        return True
+    if isinstance(source, VoidType) or isinstance(target, VoidType):
+        return False
+    if isinstance(source, PrimitiveType) or isinstance(target, PrimitiveType):
+        return False
+    return registry.is_subtype(source, target)
+
+
+def more_general(registry: TypeRegistry, a: JavaType, b: JavaType) -> bool:
+    """Is ``a`` strictly more general (higher in the hierarchy) than ``b``?
+
+    Used by the ranking tie-break of Section 3.2: among equal-length
+    jungloids, prefer the one whose output type is more general.
+    """
+    if not (is_reference(a) and is_reference(b)):
+        return False
+    return a != b and registry.is_subtype(b, a)
+
+
+def generality_key(registry: TypeRegistry, t: JavaType) -> int:
+    """A sortable generality score: smaller = more general.
+
+    Hierarchy depth works as a total-order proxy for the partial generality
+    order; ``Object`` has depth 0.
+    """
+    if isinstance(t, NamedType):
+        return registry.depth(t)
+    if is_reference(t):
+        return 1  # arrays sit just under Object
+    return 0
+
+
+def common_supertype(
+    registry: TypeRegistry, types: Sequence[NamedType]
+) -> Optional[NamedType]:
+    """A single least upper bound of a non-empty sequence (first minimal)."""
+    if not types:
+        return None
+    acc = types[0]
+    for t in types[1:]:
+        lubs = least_upper_bounds(registry, acc, t)
+        if not lubs:
+            return registry.object_type
+        acc = lubs[0]
+    return acc
+
+
+def topological_types(registry: TypeRegistry) -> Tuple[NamedType, ...]:
+    """All declared types, supertypes before subtypes (stable order).
+
+    Useful for deterministic iteration in graph construction and tests.
+    """
+    order: List[NamedType] = []
+    seen = set()
+
+    def visit(t: NamedType) -> None:
+        if t in seen:
+            return
+        seen.add(t)
+        for s in registry.direct_supertypes(t) if t != registry.object_type else ():
+            visit(s)
+        order.append(t)
+
+    for t in sorted(registry.all_types(), key=lambda x: x.name):
+        visit(t)
+    return tuple(order)
+
+
+def subtype_closure(registry: TypeRegistry, roots: Iterable[NamedType]) -> Tuple[NamedType, ...]:
+    """All subtypes of any of ``roots`` (including the roots), deduplicated."""
+    result: List[NamedType] = []
+    seen = set()
+    for r in roots:
+        for t in (r,) + registry.all_subtypes(r):
+            if t not in seen:
+                seen.add(t)
+                result.append(t)
+    return tuple(result)

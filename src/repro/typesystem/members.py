@@ -1,0 +1,137 @@
+"""Member declarations: fields, methods, and constructors.
+
+These are the raw material from which elementary jungloids are derived
+(Section 2.1 of the paper): a field access, a static or instance method
+call, or a constructor invocation each induce one elementary jungloid per
+class-typed parameter (other parameters become free variables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Tuple
+
+from .names import check_identifier
+from .types import JavaType
+
+
+class Visibility(Enum):
+    """Java member visibility.
+
+    PROSPECTOR synthesizes only ``public`` members; the Table-1 failure for
+    ``(AbstractGraphicalEditPart, ConnectionLayer)`` happens precisely
+    because the needed method is ``protected``, so the model must represent
+    visibility faithfully.
+    """
+
+    PUBLIC = "public"
+    PROTECTED = "protected"
+    PACKAGE = "package"
+    PRIVATE = "private"
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A formal parameter of a method or constructor."""
+
+    name: str
+    type: JavaType
+
+    def __post_init__(self) -> None:
+        check_identifier(self.name)
+
+    def __str__(self) -> str:
+        return f"{self.type} {self.name}"
+
+
+@dataclass(frozen=True)
+class Field:
+    """A field declaration ``T name`` on some owner type."""
+
+    owner: "JavaType"
+    name: str
+    type: JavaType
+    static: bool = False
+    visibility: Visibility = Visibility.PUBLIC
+
+    def __post_init__(self) -> None:
+        check_identifier(self.name)
+
+    @property
+    def is_public(self) -> bool:
+        return self.visibility is Visibility.PUBLIC
+
+    def __str__(self) -> str:
+        mods = [self.visibility.value]
+        if self.static:
+            mods.append("static")
+        return f"{' '.join(mods)} {self.type} {self.owner}.{self.name}"
+
+
+@dataclass(frozen=True)
+class Method:
+    """A method declaration on some owner type.
+
+    ``owner`` is the declaring reference type; inherited members are
+    resolved through the registry's hierarchy walks, not duplicated here.
+    """
+
+    owner: "JavaType"
+    name: str
+    return_type: JavaType
+    parameters: Tuple[Parameter, ...] = field(default_factory=tuple)
+    static: bool = False
+    visibility: Visibility = Visibility.PUBLIC
+
+    def __post_init__(self) -> None:
+        check_identifier(self.name)
+
+    @property
+    def is_public(self) -> bool:
+        return self.visibility is Visibility.PUBLIC
+
+    @property
+    def arity(self) -> int:
+        return len(self.parameters)
+
+    @property
+    def parameter_types(self) -> Tuple[JavaType, ...]:
+        return tuple(p.type for p in self.parameters)
+
+    def descriptor(self) -> str:
+        """A Java-like signature string, used for duplicate detection."""
+        params = ", ".join(str(p.type) for p in self.parameters)
+        kind = "static " if self.static else ""
+        return f"{kind}{self.return_type} {self.name}({params})"
+
+    def __str__(self) -> str:
+        return f"{self.visibility.value} {self.descriptor()} [on {self.owner}]"
+
+
+@dataclass(frozen=True)
+class Constructor:
+    """A constructor declaration; its "return type" is its owner."""
+
+    owner: "JavaType"
+    parameters: Tuple[Parameter, ...] = field(default_factory=tuple)
+    visibility: Visibility = Visibility.PUBLIC
+
+    @property
+    def is_public(self) -> bool:
+        return self.visibility is Visibility.PUBLIC
+
+    @property
+    def arity(self) -> int:
+        return len(self.parameters)
+
+    @property
+    def parameter_types(self) -> Tuple[JavaType, ...]:
+        return tuple(p.type for p in self.parameters)
+
+    def descriptor(self) -> str:
+        params = ", ".join(str(p.type) for p in self.parameters)
+        return f"<init>({params})"
+
+    def __str__(self) -> str:
+        return f"{self.visibility.value} new {self.owner}({', '.join(str(p) for p in self.parameters)})"

@@ -1,0 +1,97 @@
+"""Qualified names and packages for the Java-style type model.
+
+The signature graph's package-crossing ranking heuristic (Section 3.2 of the
+paper) needs a notion of *package* for every type, so names are modeled
+explicitly rather than as raw strings.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Tuple
+
+from .errors import InvalidNameError
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_$][A-Za-z0-9_$]*$")
+
+#: Name of the default (unnamed) package.
+DEFAULT_PACKAGE = ""
+
+
+def is_identifier(text: str) -> bool:
+    """Return ``True`` if ``text`` is a valid Java-style identifier."""
+    return bool(_IDENTIFIER_RE.match(text))
+
+
+def check_identifier(text: str) -> str:
+    """Validate ``text`` as an identifier, returning it unchanged.
+
+    Raises:
+        InvalidNameError: if ``text`` is not a valid identifier.
+    """
+    if not is_identifier(text):
+        raise InvalidNameError(text, "not a valid identifier")
+    return text
+
+
+@dataclass(frozen=True, order=True)
+class QualifiedName:
+    """A dotted Java-style qualified name, e.g. ``org.eclipse.jdt.core.IJavaElement``.
+
+    Instances are immutable and hashable, so they can serve as graph node keys.
+    """
+
+    package: str
+    simple: str
+
+    def __post_init__(self) -> None:
+        check_identifier(self.simple)
+        if self.package:
+            for part in self.package.split("."):
+                check_identifier(part)
+
+    @staticmethod
+    def parse(text: str) -> "QualifiedName":
+        """Parse a dotted name; the last segment is the simple name."""
+        if not text:
+            raise InvalidNameError(text, "empty name")
+        package, _, simple = text.rpartition(".")
+        return QualifiedName(package, simple)
+
+    @property
+    def dotted(self) -> str:
+        """The full dotted form of this name."""
+        if self.package:
+            return f"{self.package}.{self.simple}"
+        return self.simple
+
+    def package_parts(self) -> Tuple[str, ...]:
+        """The package as a tuple of segments (empty for the default package)."""
+        if not self.package:
+            return ()
+        return tuple(self.package.split("."))
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.dotted
+
+
+def package_distance(a: str, b: str) -> int:
+    """Number of package "boundaries" crossed going from package ``a`` to ``b``.
+
+    This is the tree distance between the two packages in the package
+    hierarchy: segments are popped up to the longest common prefix and then
+    pushed down to the target. Two identical packages have distance 0; a
+    package and its direct subpackage have distance 1. The ranking heuristic
+    uses the sum of these along a jungloid.
+    """
+    if a == b:
+        return 0
+    parts_a = tuple(a.split(".")) if a else ()
+    parts_b = tuple(b.split(".")) if b else ()
+    common = 0
+    for x, y in zip(parts_a, parts_b):
+        if x != y:
+            break
+        common += 1
+    return (len(parts_a) - common) + (len(parts_b) - common)

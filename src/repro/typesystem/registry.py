@@ -1,0 +1,384 @@
+"""The type registry: the universe of declared API types.
+
+A :class:`TypeRegistry` plays the role the compiled class files play for
+the original PROSPECTOR: it is the single source of truth for declarations
+— classes, interfaces, their members, and the subtype edges between them.
+The signature graph (Section 3.1) is constructed by iterating over a
+registry's declarations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .errors import DuplicateMemberError, DuplicateTypeError, HierarchyError, UnknownTypeError
+from .members import Constructor, Field, Method, Visibility
+from .names import QualifiedName
+from .types import ArrayType, JavaType, NamedType, TypeKind, named
+
+
+@dataclass
+class TypeDeclaration:
+    """Everything declared about one named reference type."""
+
+    type: NamedType
+    kind: TypeKind
+    superclass: Optional[NamedType] = None
+    interfaces: Tuple[NamedType, ...] = ()
+    fields: List[Field] = field(default_factory=list)
+    methods: List[Method] = field(default_factory=list)
+    constructors: List[Constructor] = field(default_factory=list)
+    abstract: bool = False
+
+    @property
+    def name(self) -> QualifiedName:
+        return self.type.name
+
+    def direct_supertypes(self) -> Tuple[NamedType, ...]:
+        supers: List[NamedType] = []
+        if self.superclass is not None:
+            supers.append(self.superclass)
+        supers.extend(self.interfaces)
+        return tuple(supers)
+
+
+#: Qualified name of the root class.
+OBJECT_NAME = "java.lang.Object"
+
+
+class TypeRegistry:
+    """A mutable universe of type declarations with hierarchy queries.
+
+    The registry always contains ``java.lang.Object``; every class without
+    an explicit superclass implicitly extends it, and (as in Java) every
+    interface type is a subtype of ``Object`` for conversion purposes.
+    """
+
+    def __init__(self) -> None:
+        self._declarations: Dict[QualifiedName, TypeDeclaration] = {}
+        self._by_simple: Dict[str, List[NamedType]] = {}
+        self._subtype_cache: Dict[Tuple[JavaType, JavaType], bool] = {}
+        self._supertypes_cache: Dict[NamedType, Tuple[NamedType, ...]] = {}
+        self._subclasses: Dict[QualifiedName, Set[QualifiedName]] = {}
+        self.object_type = self._declare_object()
+
+    # ------------------------------------------------------------------
+    # Declaration
+    # ------------------------------------------------------------------
+
+    def _declare_object(self) -> NamedType:
+        obj = named(OBJECT_NAME)
+        decl = TypeDeclaration(type=obj, kind=TypeKind.CLASS, superclass=None)
+        self._declarations[obj.name] = decl
+        self._by_simple.setdefault(obj.simple, []).append(obj)
+        return obj
+
+    def declare(
+        self,
+        dotted_name: str,
+        kind: TypeKind = TypeKind.CLASS,
+        superclass: Optional[str] = None,
+        interfaces: Iterable[str] = (),
+        abstract: bool = False,
+    ) -> NamedType:
+        """Declare a new class or interface and return its type.
+
+        ``superclass`` defaults to ``java.lang.Object`` for classes; an
+        interface has no superclass (its supertypes are its extended
+        interfaces, passed via ``interfaces``).
+        """
+        t = named(dotted_name)
+        if t.name in self._declarations:
+            raise DuplicateTypeError(t.name.dotted)
+        sup: Optional[NamedType]
+        if kind is TypeKind.CLASS:
+            if dotted_name == OBJECT_NAME:
+                sup = None
+            elif superclass is None:
+                sup = self.object_type
+            else:
+                sup = named(superclass)
+        else:
+            if superclass is not None:
+                raise HierarchyError(f"interface {dotted_name} cannot extend a class")
+            sup = None
+        decl = TypeDeclaration(
+            type=t,
+            kind=kind,
+            superclass=sup,
+            interfaces=tuple(named(i) for i in interfaces),
+            abstract=abstract,
+        )
+        self._declarations[t.name] = decl
+        self._by_simple.setdefault(t.simple, []).append(t)
+        self._invalidate_caches()
+        return t
+
+    def add_field(self, f: Field) -> Field:
+        decl = self.declaration_of(f.owner)
+        for existing in decl.fields:
+            if existing.name == f.name:
+                raise DuplicateMemberError(str(f.owner), f"field {f.name}")
+        decl.fields.append(f)
+        return f
+
+    def add_method(self, m: Method) -> Method:
+        decl = self.declaration_of(m.owner)
+        for existing in decl.methods:
+            if existing.name == m.name and existing.parameter_types == m.parameter_types:
+                raise DuplicateMemberError(str(m.owner), m.descriptor())
+        decl.methods.append(m)
+        return m
+
+    def add_constructor(self, c: Constructor) -> Constructor:
+        decl = self.declaration_of(c.owner)
+        for existing in decl.constructors:
+            if existing.parameter_types == c.parameter_types:
+                raise DuplicateMemberError(str(c.owner), c.descriptor())
+        decl.constructors.append(c)
+        return c
+
+    def _invalidate_caches(self) -> None:
+        self._subtype_cache.clear()
+        self._supertypes_cache.clear()
+        self._subclasses.clear()
+
+    def invalidate_caches(self) -> None:
+        """Drop memoized hierarchy queries after direct declaration edits.
+
+        The mini-Java resolver patches corpus supertypes onto declarations
+        after the fact; it must call this so subtype queries see the edits.
+        """
+        self._invalidate_caches()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def __contains__(self, dotted_name: str) -> bool:
+        return QualifiedName.parse(dotted_name) in self._declarations
+
+    def lookup(self, dotted_name: str) -> NamedType:
+        """Look up a declared type by its fully qualified name."""
+        qn = QualifiedName.parse(dotted_name)
+        if qn not in self._declarations:
+            raise UnknownTypeError(dotted_name)
+        return self._declarations[qn].type
+
+    def lookup_simple(self, simple_name: str) -> List[NamedType]:
+        """All declared types whose simple name matches (for import resolution)."""
+        return list(self._by_simple.get(simple_name, []))
+
+    def declaration_of(self, t: JavaType) -> TypeDeclaration:
+        if not isinstance(t, NamedType):
+            raise UnknownTypeError(str(t))
+        decl = self._declarations.get(t.name)
+        if decl is None:
+            raise UnknownTypeError(t.name.dotted)
+        return decl
+
+    def is_declared(self, t: JavaType) -> bool:
+        if isinstance(t, NamedType):
+            return t.name in self._declarations
+        if isinstance(t, ArrayType):
+            elem = t.ultimate_element
+            return not isinstance(elem, NamedType) or self.is_declared(elem)
+        return True
+
+    def all_declarations(self) -> Iterator[TypeDeclaration]:
+        return iter(self._declarations.values())
+
+    def all_types(self) -> Iterator[NamedType]:
+        return (d.type for d in self._declarations.values())
+
+    def __len__(self) -> int:
+        return len(self._declarations)
+
+    # ------------------------------------------------------------------
+    # Hierarchy
+    # ------------------------------------------------------------------
+
+    def direct_supertypes(self, t: NamedType) -> Tuple[NamedType, ...]:
+        """Declared direct supertypes (superclass first, then interfaces).
+
+        Interfaces with no declared supertype report ``Object`` so that the
+        widening edge lattice is rooted, matching Java conversion rules.
+        """
+        decl = self.declaration_of(t)
+        supers = decl.direct_supertypes()
+        if not supers and t.name.dotted != OBJECT_NAME:
+            return (self.object_type,)
+        return supers
+
+    def all_supertypes(self, t: NamedType) -> Tuple[NamedType, ...]:
+        """All transitive supertypes, not including ``t`` itself."""
+        cached = self._supertypes_cache.get(t)
+        if cached is not None:
+            return cached
+        seen: Dict[NamedType, None] = {}
+        stack = list(self.direct_supertypes(t))
+        trail: Set[NamedType] = {t}
+        while stack:
+            s = stack.pop(0)
+            if s in seen:
+                continue
+            if s in trail:
+                raise HierarchyError(f"subtyping cycle through {s}")
+            if not self.is_declared(s):
+                raise UnknownTypeError(str(s))
+            seen[s] = None
+            stack.extend(self.direct_supertypes(s))
+        result = tuple(seen)
+        self._supertypes_cache[t] = result
+        return result
+
+    def direct_subtypes(self, t: NamedType) -> Tuple[NamedType, ...]:
+        """Declared types whose direct supertypes include ``t``."""
+        if not self._subclasses:
+            self._build_subclass_index()
+        names = self._subclasses.get(t.name, set())
+        return tuple(sorted((self._declarations[n].type for n in names), key=lambda x: x.name))
+
+    def all_subtypes(self, t: NamedType) -> Tuple[NamedType, ...]:
+        """All transitive subtypes, not including ``t`` itself."""
+        result: List[NamedType] = []
+        seen: Set[NamedType] = set()
+        stack = list(self.direct_subtypes(t))
+        while stack:
+            s = stack.pop()
+            if s in seen:
+                continue
+            seen.add(s)
+            result.append(s)
+            stack.extend(self.direct_subtypes(s))
+        return tuple(result)
+
+    def _build_subclass_index(self) -> None:
+        for decl in self._declarations.values():
+            for sup in self.direct_supertypes(decl.type) if decl.type != self.object_type else ():
+                self._subclasses.setdefault(sup.name, set()).add(decl.name)
+
+    def is_subtype(self, sub: JavaType, sup: JavaType) -> bool:
+        """Reflexive, transitive subtype test including array covariance."""
+        if sub == sup:
+            return True
+        key = (sub, sup)
+        cached = self._subtype_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._is_subtype_uncached(sub, sup)
+        self._subtype_cache[key] = result
+        return result
+
+    def _is_subtype_uncached(self, sub: JavaType, sup: JavaType) -> bool:
+        if isinstance(sub, NamedType) and isinstance(sup, NamedType):
+            if sup == self.object_type:
+                return True
+            return sup in self.all_supertypes(sub)
+        if isinstance(sub, ArrayType):
+            if isinstance(sup, NamedType):
+                # T[] <: Object (and the standard array interfaces if declared).
+                if sup == self.object_type:
+                    return True
+                return sup.name.dotted in ("java.lang.Cloneable", "java.io.Serializable")
+            if isinstance(sup, ArrayType):
+                se, pe = sub.element, sup.element
+                if isinstance(se, NamedType) and isinstance(pe, NamedType):
+                    return self.is_subtype(se, pe)
+                if isinstance(se, ArrayType) and isinstance(pe, ArrayType):
+                    return self.is_subtype(se, pe)
+                return se == pe
+        return False
+
+    def widening_targets(self, t: JavaType) -> Tuple[NamedType, ...]:
+        """Direct widening-conversion targets of ``t`` (one hierarchy step).
+
+        For arrays this is ``Object`` (we do not chase array covariance in
+        the graph; covariant array edges add little and bloat the node set).
+        """
+        if isinstance(t, NamedType):
+            return self.direct_supertypes(t)
+        if isinstance(t, ArrayType):
+            return (self.object_type,)
+        return ()
+
+    def depth(self, t: NamedType) -> int:
+        """Longest supertype-chain length from ``t`` up to ``Object``.
+
+        Used by the ranking heuristic's generality tie-break: among equal
+        length jungloids, one returning a *more general* type (smaller
+        depth) ranks higher (Section 3.2).
+        """
+        if t == self.object_type:
+            return 0
+        return 1 + max((self.depth(s) for s in self.direct_supertypes(t)), default=0)
+
+    # ------------------------------------------------------------------
+    # Member lookup with inheritance
+    # ------------------------------------------------------------------
+
+    def declared_methods(self, t: NamedType) -> Tuple[Method, ...]:
+        return tuple(self.declaration_of(t).methods)
+
+    def declared_fields(self, t: NamedType) -> Tuple[Field, ...]:
+        return tuple(self.declaration_of(t).fields)
+
+    def constructors_of(self, t: NamedType) -> Tuple[Constructor, ...]:
+        return tuple(self.declaration_of(t).constructors)
+
+    def all_methods(self, t: NamedType) -> Tuple[Method, ...]:
+        """Declared plus inherited methods; overrides shadow supertypes."""
+        seen: Dict[Tuple[str, Tuple[JavaType, ...]], Method] = {}
+        for owner in (t,) + self.all_supertypes(t):
+            for m in self.declaration_of(owner).methods:
+                key = (m.name, m.parameter_types)
+                if key not in seen:
+                    seen[key] = m
+        return tuple(seen.values())
+
+    def all_fields(self, t: NamedType) -> Tuple[Field, ...]:
+        """Declared plus inherited fields; redeclarations shadow supertypes."""
+        seen: Dict[str, Field] = {}
+        for owner in (t,) + self.all_supertypes(t):
+            for f in self.declaration_of(owner).fields:
+                if f.name not in seen:
+                    seen[f.name] = f
+        return tuple(seen.values())
+
+    def find_method(
+        self, t: NamedType, name: str, arity: Optional[int] = None
+    ) -> Tuple[Method, ...]:
+        """All (inherited-visible) methods named ``name`` on ``t``."""
+        return tuple(
+            m
+            for m in self.all_methods(t)
+            if m.name == name and (arity is None or m.arity == arity)
+        )
+
+    def find_field(self, t: NamedType, name: str) -> Optional[Field]:
+        for f in self.all_fields(t):
+            if f.name == name:
+                return f
+        return None
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Summary counts, printed by the Section-5 performance bench."""
+        n_methods = sum(len(d.methods) for d in self._declarations.values())
+        n_fields = sum(len(d.fields) for d in self._declarations.values())
+        n_ctors = sum(len(d.constructors) for d in self._declarations.values())
+        n_interfaces = sum(
+            1 for d in self._declarations.values() if d.kind is TypeKind.INTERFACE
+        )
+        return {
+            "types": len(self._declarations),
+            "classes": len(self._declarations) - n_interfaces,
+            "interfaces": n_interfaces,
+            "methods": n_methods,
+            "fields": n_fields,
+            "constructors": n_ctors,
+        }

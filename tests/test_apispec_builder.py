@@ -1,0 +1,83 @@
+"""Tests for the programmatic ApiBuilder and the synthetic API generator."""
+
+from repro.apispec import ApiBuilder, SyntheticApiConfig, generate_synthetic_api
+from repro.typesystem import ArrayType, PRIMITIVES, TypeKind, VOID, Visibility, named
+
+
+class TestApiBuilder:
+    def test_class_with_members(self):
+        api = ApiBuilder()
+        api.cls("p.Stream")
+        api.cls("p.Reader").constructor(["p.Stream"]).method(
+            "readLine", "p.Line"
+        ).field("open", "boolean")
+        api.cls("p.Line")
+        r = api.registry
+        reader = r.lookup("p.Reader")
+        assert r.constructors_of(reader)[0].parameter_types == (named("p.Stream"),)
+        assert r.declared_methods(reader)[0].return_type == named("p.Line")
+        assert r.declared_fields(reader)[0].type == PRIMITIVES["boolean"]
+
+    def test_interface_and_inheritance(self):
+        api = ApiBuilder()
+        api.interface("p.I").method("run", "void")
+        api.cls("p.C", implements=["p.I"])
+        r = api.registry
+        assert r.declaration_of(r.lookup("p.I")).kind is TypeKind.INTERFACE
+        assert r.is_subtype(r.lookup("p.C"), r.lookup("p.I"))
+
+    def test_resolve_type_strings(self):
+        api = ApiBuilder()
+        api.cls("p.C")
+        assert api.resolve("void") == VOID
+        assert api.resolve("int") == PRIMITIVES["int"]
+        assert api.resolve("p.C") == named("p.C")
+        assert isinstance(api.resolve("p.C[]"), ArrayType)
+        assert api.resolve("int[][]").dimensions == 2
+
+    def test_on_continues_existing_type(self):
+        api = ApiBuilder()
+        api.cls("p.C")
+        api.on("p.C").method("f", "p.C")
+        assert api.registry.declared_methods(api.registry.lookup("p.C"))
+
+    def test_visibility_passthrough(self):
+        api = ApiBuilder()
+        api.cls("p.C").method("hidden", "p.C", visibility=Visibility.PROTECTED)
+        m = api.registry.declared_methods(api.registry.lookup("p.C"))[0]
+        assert m.visibility is Visibility.PROTECTED
+
+
+class TestSyntheticApi:
+    def test_deterministic(self):
+        config = SyntheticApiConfig(packages=3, classes_per_package=4)
+        a = generate_synthetic_api(config)
+        b = generate_synthetic_api(config)
+        assert a.stats() == b.stats()
+        # Same member layout, not just same counts.
+        t = a.lookup("synth.p0.C1")
+        assert [m.descriptor() for m in a.declared_methods(t)] == [
+            m.descriptor() for m in b.declared_methods(b.lookup("synth.p0.C1"))
+        ]
+
+    def test_size_matches_config(self):
+        config = SyntheticApiConfig(packages=5, classes_per_package=6, interfaces_per_package=2)
+        r = generate_synthetic_api(config)
+        # +1 for the implicit Object.
+        assert len(r) == config.total_types + 1
+
+    def test_hierarchy_exists(self):
+        r = generate_synthetic_api(SyntheticApiConfig(packages=4, classes_per_package=10))
+        subclassed = any(
+            d.superclass is not None and str(d.superclass).startswith("synth")
+            for d in r.all_declarations()
+        )
+        assert subclassed
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic_api(SyntheticApiConfig(seed=1, packages=3))
+        b = generate_synthetic_api(SyntheticApiConfig(seed=2, packages=3))
+        t = "synth.p0.C1"
+        da = [m.descriptor() for m in a.declared_methods(a.lookup(t))]
+        db = [m.descriptor() for m in b.declared_methods(b.lookup(t))]
+        assert da != db

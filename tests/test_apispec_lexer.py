@@ -1,0 +1,73 @@
+"""Tests for the .api stub lexer."""
+
+import pytest
+
+from repro.apispec import ApiLexError, Token, TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text) if t.kind is not TokenKind.EOF]
+
+
+class TestBasics:
+    def test_empty_input_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("class Foo extends Bar")
+        assert toks[0].kind is TokenKind.KEYWORD
+        assert toks[1].kind is TokenKind.IDENT
+        assert toks[2].kind is TokenKind.KEYWORD
+        assert toks[3].kind is TokenKind.IDENT
+
+    def test_punctuation(self):
+        assert texts("{ } ( ) [ ] , ; .") == ["{", "}", "(", ")", "[", "]", ",", ";", "."]
+
+    def test_dollar_and_underscore_identifiers(self):
+        assert texts("$x _y") == ["$x", "_y"]
+
+    def test_primitives_are_keywords(self):
+        for word in ("int", "boolean", "void", "double"):
+            assert tokenize(word)[0].kind is TokenKind.KEYWORD
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("class // ignore me\n Foo") == ["class", "Foo"]
+
+    def test_block_comment_skipped(self):
+        assert texts("class /* one\ntwo */ Foo") == ["class", "Foo"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ApiLexError):
+            tokenize("class /* never ends")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("class\n  Foo")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_position_after_block_comment(self):
+        toks = tokenize("/* a\nb */ class")
+        assert toks[0].line == 2
+
+    def test_error_position(self):
+        with pytest.raises(ApiLexError) as exc:
+            tokenize("class @")
+        assert exc.value.line == 1
+        assert exc.value.column == 7
+
+
+class TestHelpers:
+    def test_is_keyword(self):
+        tok = Token(TokenKind.KEYWORD, "class", 1, 1)
+        assert tok.is_keyword("class")
+        assert not tok.is_keyword("interface")

@@ -1,0 +1,106 @@
+"""Tests for linking stub files into a registry."""
+
+import pytest
+
+from repro.apispec import ApiLinkError, load_api_text, load_api_texts
+from repro.typesystem import ArrayType, TypeKind, Visibility, named
+
+
+class TestLinking:
+    def test_basic_class(self):
+        r = load_api_text("package p; class C { C(); int size(); }")
+        c = r.lookup("p.C")
+        decl = r.declaration_of(c)
+        assert decl.kind is TypeKind.CLASS
+        assert len(decl.constructors) == 1
+        assert decl.methods[0].name == "size"
+
+    def test_cross_file_references(self):
+        r = load_api_texts(
+            [
+                ("a.api", "package a; class A { b.B makeB(); }"),
+                ("b.api", "package b; class B extends a.A {}"),
+            ]
+        )
+        assert r.is_subtype(r.lookup("b.B"), r.lookup("a.A"))
+
+    def test_forward_reference_same_file(self):
+        r = load_api_text("package p; class A extends B {} class B {}")
+        assert r.is_subtype(r.lookup("p.A"), r.lookup("p.B"))
+
+    def test_simple_name_same_package(self):
+        r = load_api_text("package p; class A { B partner(); } class B {}")
+        m = r.declared_methods(r.lookup("p.A"))[0]
+        assert m.return_type == named("p.B")
+
+    def test_simple_name_java_lang(self):
+        r = load_api_text(
+            "package java.lang; class String {} package p; class A { String name(); }"
+        )
+        m = r.declared_methods(r.lookup("p.A"))[0]
+        assert m.return_type == named("java.lang.String")
+
+    def test_simple_name_unique_global(self):
+        r = load_api_text("package x.y; class Widget {} package p; class A { Widget w; }")
+        f = r.declared_fields(r.lookup("p.A"))[0]
+        assert f.type == named("x.y.Widget")
+
+    def test_ambiguous_simple_name_rejected(self):
+        with pytest.raises(ApiLinkError):
+            load_api_text(
+                "package x; class W {} package y; class W {} package p; class A { W w; }"
+            )
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ApiLinkError):
+            load_api_text("package p; class A { Missing m(); }")
+
+    def test_object_reference_resolves_implicitly(self):
+        r = load_api_text("package p; class A { Object get(); }")
+        m = r.declared_methods(r.lookup("p.A"))[0]
+        assert m.return_type == r.object_type
+
+    def test_array_member_types(self):
+        r = load_api_text("package p; class A { A[] children(); }")
+        m = r.declared_methods(r.lookup("p.A"))[0]
+        assert isinstance(m.return_type, ArrayType)
+
+    def test_multiple_extends_rejected_for_class(self):
+        with pytest.raises(ApiLinkError):
+            load_api_text("package p; class A {} class B {} class C extends A, B {}")
+
+    def test_void_parameter_rejected(self):
+        with pytest.raises(ApiLinkError):
+            load_api_text("package p; class A { int f(void v); }")
+
+
+class TestModifiers:
+    def test_default_visibility_is_public(self):
+        r = load_api_text("package p; class A { int f(); }")
+        assert r.declared_methods(r.lookup("p.A"))[0].visibility is Visibility.PUBLIC
+
+    def test_protected_and_private(self):
+        r = load_api_text(
+            "package p; class A { protected int f(); private int g(); }"
+        )
+        methods = r.declared_methods(r.lookup("p.A"))
+        assert methods[0].visibility is Visibility.PROTECTED
+        assert methods[1].visibility is Visibility.PRIVATE
+
+    def test_static_members(self):
+        r = load_api_text("package p; class A { static A getDefault(); static A INSTANCE; }")
+        assert r.declared_methods(r.lookup("p.A"))[0].static
+        assert r.declared_fields(r.lookup("p.A"))[0].static
+
+    def test_abstract_class(self):
+        r = load_api_text("package p; abstract class A {}")
+        assert r.declaration_of(r.lookup("p.A")).abstract
+
+    def test_interfaces_are_abstract(self):
+        r = load_api_text("package p; interface I {}")
+        assert r.declaration_of(r.lookup("p.I")).abstract
+
+    def test_load_into_existing_registry(self):
+        r = load_api_text("package p; class A {}")
+        load_api_text("package q; class B extends p.A {}", r)
+        assert r.is_subtype(r.lookup("q.B"), r.lookup("p.A"))

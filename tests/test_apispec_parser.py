@@ -1,0 +1,114 @@
+"""Tests for the .api stub parser."""
+
+import pytest
+
+from repro.apispec import ApiParseError, parse_api
+
+
+class TestPackagesAndTypes:
+    def test_package_header(self):
+        f = parse_api("package a.b; class C {}")
+        assert f.package == "a.b"
+        assert f.declarations[0].qualified_name == "a.b.C"
+
+    def test_default_package(self):
+        f = parse_api("class C {}")
+        assert f.declarations[0].qualified_name == "C"
+
+    def test_multiple_package_sections(self):
+        f = parse_api("package a; class A {} package b; class B {}")
+        names = [d.qualified_name for d in f.declarations]
+        assert names == ["a.A", "b.B"]
+
+    def test_class_with_extends_and_implements(self):
+        f = parse_api("package p; class C extends D implements I, J {}")
+        d = f.declarations[0]
+        assert [str(t) for t in d.extends] == ["D"]
+        assert [str(t) for t in d.implements] == ["I", "J"]
+
+    def test_interface_extends_multiple(self):
+        f = parse_api("package p; interface K extends I, J {}")
+        d = f.declarations[0]
+        assert d.is_interface
+        assert [str(t) for t in d.extends] == ["I", "J"]
+
+    def test_interface_cannot_implement(self):
+        with pytest.raises(ApiParseError):
+            parse_api("package p; interface K implements I {}")
+
+    def test_modifiers_recorded(self):
+        f = parse_api("package p; public abstract class C {}")
+        assert "abstract" in f.declarations[0].modifiers
+
+
+class TestMembers:
+    def test_field(self):
+        f = parse_api("package p; class C { java.lang.String name; }")
+        m = f.declarations[0].members[0]
+        assert m.is_field
+        assert str(m.return_type) == "java.lang.String"
+
+    def test_method_with_params(self):
+        f = parse_api("package p; class C { int size(D d, int n); }")
+        m = f.declarations[0].members[0]
+        assert not m.is_field and not m.is_constructor
+        assert m.name == "size"
+        assert len(m.params) == 2
+        assert m.params[0].name == "d"
+        assert m.params[1].type.is_primitive
+
+    def test_params_without_names(self):
+        f = parse_api("package p; class C { void f(D, E); }")
+        m = f.declarations[0].members[0]
+        assert all(p.name is None for p in m.params)
+
+    def test_constructor(self):
+        f = parse_api("package p; class C { C(D d); }")
+        m = f.declarations[0].members[0]
+        assert m.is_constructor
+        assert m.return_type is None
+
+    def test_method_named_like_other_class_is_not_constructor(self):
+        f = parse_api("package p; class C { D D(); }")
+        m = f.declarations[0].members[0]
+        assert not m.is_constructor
+        assert m.name == "D"
+
+    def test_static_modifier(self):
+        f = parse_api("package p; class C { static C getDefault(); }")
+        assert "static" in f.declarations[0].members[0].modifiers
+
+    def test_array_types(self):
+        f = parse_api("package p; class C { D[] all(); int[][] grid; }")
+        method, field = f.declarations[0].members
+        assert method.return_type.dims == 1
+        assert field.return_type.dims == 2
+
+    def test_void_return(self):
+        f = parse_api("package p; class C { void run(); }")
+        assert f.declarations[0].members[0].return_type.is_void
+
+    def test_void_array_rejected(self):
+        with pytest.raises(ApiParseError):
+            parse_api("package p; class C { void[] bad(); }")
+
+    def test_visibility_modifiers(self):
+        f = parse_api("package p; class C { protected D hidden(); private D secret(); }")
+        mods = [m.modifiers for m in f.declarations[0].members]
+        assert "protected" in mods[0]
+        assert "private" in mods[1]
+
+
+class TestErrors:
+    def test_missing_brace(self):
+        with pytest.raises(ApiParseError):
+            parse_api("package p; class C {")
+
+    def test_garbage_member(self):
+        with pytest.raises(ApiParseError):
+            parse_api("package p; class C { extends; }")
+
+    def test_error_carries_source_name(self):
+        with pytest.raises(ApiParseError) as exc:
+            parse_api("class {", source="broken.api")
+        assert "broken.api" in str(exc.value)

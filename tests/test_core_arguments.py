@@ -1,0 +1,56 @@
+"""Tests for the §4.3 argument-suggestion API on the Prospector facade."""
+
+import pytest
+
+from repro import Prospector
+
+
+class TestSuggestArguments:
+    def test_object_parameter_refined(self, standard_prospector):
+        suggestions = standard_prospector.suggest_arguments(
+            "org.eclipse.jface.viewers.Viewer", "setInput"
+        )
+        assert suggestions
+        # Declared Object, but the corpus only ever passes JDT model types.
+        observed = standard_prospector.observed_argument_types(
+            "org.eclipse.jface.viewers.Viewer", "setInput"
+        )
+        assert observed == [
+            "org.eclipse.jdt.core.ICompilationUnit",
+            "org.eclipse.jdt.core.IJavaElement",
+            "org.eclipse.jdt.core.IJavaProject",
+        ]
+
+    def test_suggestions_ordered_cheapest_first(self, standard_prospector):
+        suggestions = standard_prospector.suggest_arguments(
+            "org.eclipse.jface.viewers.Viewer", "setInput"
+        )
+        costs = [
+            standard_prospector.config.cost_model.cost(s.jungloid) for s in suggestions
+        ]
+        assert costs == sorted(costs)
+
+    def test_subtype_owner_query(self, standard_prospector):
+        # Asking on TableViewer (a Viewer subtype) finds the same data.
+        suggestions = standard_prospector.suggest_arguments(
+            "org.eclipse.jface.viewers.TableViewer", "setInput"
+        )
+        assert suggestions
+
+    def test_unknown_member_empty(self, standard_prospector):
+        assert (
+            standard_prospector.suggest_arguments(
+                "org.eclipse.jface.viewers.Viewer", "noSuchMethod"
+            )
+            == []
+        )
+
+    def test_without_corpus_empty(self, standard_registry_and_corpus):
+        registry, _ = standard_registry_and_corpus
+        p = Prospector(registry)
+        assert p.suggest_arguments("org.eclipse.jface.viewers.Viewer", "setInput") == []
+
+    def test_cache_reused(self, standard_prospector):
+        first = standard_prospector._argument_examples()
+        second = standard_prospector._argument_examples()
+        assert first is second

@@ -1,0 +1,73 @@
+"""Tests for multi-query composition (Section 2.2's workflow)."""
+
+from repro import CursorContext, complete_free_variables
+
+
+def _item_context(prospector, visible):
+    return CursorContext.at_assignment(
+        prospector.registry,
+        target_type="demo.ui.Item",
+        target_name="item",
+        visible=list(visible),
+    )
+
+
+def _primary_with_free(prospector, ctx):
+    return next(r for r in prospector.complete(ctx) if r.free_variables())
+
+
+class TestComposition:
+    def test_primary_without_free_variables_passes_through(self, small_prospector):
+        ctx = CursorContext.at_assignment(
+            small_prospector.registry,
+            target_type="demo.ui.Viewer",
+            target_name="result",
+            visible=[("panel", "demo.ui.Panel")],
+        )
+        primary = small_prospector.complete(ctx)[0]
+        composed = complete_free_variables(small_prospector, primary, ctx)
+        assert composed.fully_bound
+        assert composed.steps == []
+        assert "result" in composed.text
+
+    def test_free_variable_filled_by_follow_up_query(self, small_prospector):
+        # panel0.itemFor(w): the Panel receiver is free; the follow-up
+        # void query fills it with Panel.getDefault().
+        ctx = _item_context(small_prospector, [("w", "demo.ui.Widget")])
+        primary = _primary_with_free(small_prospector, ctx)
+        composed = complete_free_variables(small_prospector, primary, ctx)
+        assert composed.fully_bound
+        text = composed.text
+        assert "demo.ui.Panel" in text.splitlines()[0]
+        assert ".itemFor(w)" in text
+        assert composed.steps[0].filled
+
+    def test_choice_override(self, small_prospector):
+        ctx = _item_context(small_prospector, [("w", "demo.ui.Widget")])
+        primary = _primary_with_free(small_prospector, ctx)
+        free_name = primary.code(result_variable="item").free_variables[0].name
+        default = complete_free_variables(small_prospector, primary, ctx)
+        alt = complete_free_variables(
+            small_prospector, primary, ctx, choices={free_name: 1}
+        )
+        assert (
+            default.steps[0].synthesis.jungloid.render_expression("")
+            != alt.steps[0].synthesis.jungloid.render_expression("")
+        )
+
+    def test_unfillable_free_variable_left_declared(self, small_prospector):
+        ctx = _item_context(small_prospector, [("w", "demo.ui.Widget")])
+        primary = _primary_with_free(small_prospector, ctx)
+        free_name = primary.code(result_variable="item").free_variables[0].name
+        composed = complete_free_variables(
+            small_prospector, primary, ctx, choices={free_name: 9999}
+        )
+        assert not composed.fully_bound
+        assert "free variable" in composed.text
+
+    def test_input_variable_name_used(self, small_prospector):
+        ctx = _item_context(small_prospector, [("w", "demo.ui.Widget")])
+        primary = _primary_with_free(small_prospector, ctx)
+        composed = complete_free_variables(small_prospector, primary, ctx)
+        # The visible variable's own name feeds the jungloid.
+        assert "(w)" in composed.text

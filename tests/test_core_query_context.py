@@ -1,0 +1,85 @@
+"""Tests for Query and CursorContext (query inference)."""
+
+import pytest
+
+from repro.core import CursorContext, Query, VisibleVariable, resolve_type_spec
+from repro.typesystem import PRIMITIVES, VOID, named
+
+
+class TestResolveTypeSpec:
+    def test_qualified_name(self, small_registry):
+        assert resolve_type_spec(small_registry, "demo.ui.Viewer") == named("demo.ui.Viewer")
+
+    def test_unique_simple_name(self, small_registry):
+        assert resolve_type_spec(small_registry, "Viewer") == named("demo.ui.Viewer")
+
+    def test_void(self, small_registry):
+        assert resolve_type_spec(small_registry, "void") == VOID
+
+    def test_type_passthrough(self, small_registry):
+        t = named("demo.ui.Viewer")
+        assert resolve_type_spec(small_registry, t) is t
+
+    def test_unknown_raises(self, small_registry):
+        with pytest.raises(KeyError):
+            resolve_type_spec(small_registry, "Ghost")
+
+    def test_ambiguous_raises(self, small_registry):
+        small_registry.declare("other.Viewer")
+        with pytest.raises(KeyError):
+            resolve_type_spec(small_registry, "Viewer")
+
+
+class TestQuery:
+    def test_valid_query(self, small_registry):
+        q = Query.of(small_registry, "demo.ui.Panel", "demo.ui.Viewer")
+        assert str(q) == "(demo.ui.Panel, demo.ui.Viewer)"
+
+    def test_void_input_allowed(self, small_registry):
+        Query.of(small_registry, "void", "demo.ui.Viewer")
+
+    def test_primitive_endpoints_rejected(self, small_registry):
+        with pytest.raises(ValueError):
+            Query(PRIMITIVES["int"], named("demo.ui.Viewer"))
+        with pytest.raises(ValueError):
+            Query(named("demo.ui.Viewer"), PRIMITIVES["int"])
+
+    def test_void_output_rejected(self, small_registry):
+        with pytest.raises(ValueError):
+            Query(named("demo.ui.Viewer"), VOID)
+
+
+class TestCursorContext:
+    def _context(self, registry):
+        return CursorContext.at_assignment(
+            registry,
+            target_type="demo.ui.Viewer",
+            target_name="viewer",
+            visible=[
+                ("panel", "demo.ui.Panel"),
+                ("name", "java.lang.String"),
+                ("panel2", "demo.ui.Panel"),
+            ],
+        )
+
+    def test_source_types_dedupe_and_end_with_void(self, small_registry):
+        ctx = self._context(small_registry)
+        sources = ctx.source_types()
+        assert sources == [named("demo.ui.Panel"), named("java.lang.String"), VOID]
+
+    def test_queries_one_per_source(self, small_registry):
+        ctx = self._context(small_registry)
+        queries = ctx.queries()
+        assert len(queries) == 3
+        assert all(q.t_out == named("demo.ui.Viewer") for q in queries)
+        assert queries[-1].t_in == VOID
+
+    def test_variable_of_type_nearest_first(self, small_registry):
+        ctx = self._context(small_registry)
+        var = ctx.variable_of_type(named("demo.ui.Panel"))
+        assert var is not None and var.name == "panel"
+        assert ctx.variable_of_type(named("demo.ui.Widget")) is None
+
+    def test_visible_variable_str(self, small_registry):
+        v = VisibleVariable("x", named("demo.ui.Panel"))
+        assert str(v) == "demo.ui.Panel x"

@@ -1,0 +1,77 @@
+"""Tests for corpus loading and registry cloning."""
+
+import pytest
+
+from repro.corpus import clone_registry, load_corpus_texts
+from repro.minijava import MjTypeError
+
+
+class TestCloneRegistry:
+    def test_clone_is_independent(self, small_registry):
+        clone = clone_registry(small_registry)
+        assert clone.stats() == small_registry.stats()
+        clone.declare("extra.Thing")
+        assert "extra.Thing" in clone
+        assert "extra.Thing" not in small_registry
+
+    def test_clone_preserves_hierarchy(self, small_registry):
+        clone = clone_registry(small_registry)
+        assert clone.is_subtype(
+            clone.lookup("demo.io.BufferedReader"), clone.lookup("demo.io.Reader")
+        )
+
+
+class TestLoadCorpus:
+    def test_api_registry_untouched(self, small_registry):
+        before = small_registry.stats()
+        load_corpus_texts(
+            small_registry,
+            [("x.mj", "package c; class K { }")],
+        )
+        assert small_registry.stats() == before
+
+    def test_corpus_program_contents(self, small_registry):
+        program = load_corpus_texts(
+            small_registry,
+            [
+                ("a.mj", "package c; class A { void f() { } }"),
+                ("b.mj", "package c; class B { void g() { } void h() { } }"),
+            ],
+        )
+        assert program.class_count == 2
+        assert program.method_count == 3
+        assert {str(t) for t in program.corpus_types} == {"c.A", "c.B"}
+        assert program.check_report is not None and program.check_report.ok
+
+    def test_type_errors_raise_by_default(self, small_registry):
+        with pytest.raises(MjTypeError):
+            load_corpus_texts(
+                small_registry,
+                [("bad.mj", "package c; class K { void f() { int x = null; } }")],
+            )
+
+    def test_check_can_be_disabled(self, small_registry):
+        program = load_corpus_texts(
+            small_registry,
+            [("bad.mj", "package c; class K { void f() { int x = null; } }")],
+            check=False,
+        )
+        assert program.check_report is None
+
+    def test_corpus_can_reference_api(self, small_registry):
+        program = load_corpus_texts(
+            small_registry,
+            [
+                (
+                    "x.mj",
+                    """
+                    package c;
+                    import demo.ui.Panel;
+                    import demo.ui.Viewer;
+                    class K { Viewer v(Panel p) { return p.getViewer(); } }
+                    """,
+                )
+            ],
+        )
+        assert program.registry is not small_registry
+        assert "c.K" in program.registry

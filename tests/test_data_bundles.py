@@ -1,0 +1,79 @@
+"""Tests for the bundled API stubs and corpus."""
+
+from repro.data import api_stub_texts, corpus_texts, standard_corpus, standard_registry, standard_setup
+from repro.typesystem import Visibility, named
+
+
+class TestBundleContents:
+    def test_stub_files_present(self):
+        names = [name for name, _ in api_stub_texts()]
+        assert "java_lang.api" in names
+        assert "eclipse_ui.api" in names
+        assert len(names) >= 8
+
+    def test_corpus_files_present(self):
+        names = [name for name, _ in corpus_texts()]
+        assert "debug_selection.mj" in names
+        assert len(names) >= 8
+
+
+class TestStandardRegistry:
+    def test_scale(self):
+        registry = standard_registry()
+        stats = registry.stats()
+        assert stats["types"] > 250
+        assert stats["methods"] > 650
+
+    def test_table1_types_present(self):
+        registry = standard_registry()
+        for name in (
+            "java.io.BufferedReader",
+            "java.nio.MappedByteBuffer",
+            "org.eclipse.ui.IWorkbench",
+            "org.eclipse.jdt.core.dom.ASTNode",
+            "org.eclipse.gef.ui.parts.ScrollingGraphicalViewer",
+            "org.apache.tools.ant.Project",
+            "org.apache.lucene.demo.html.HTMLParser",
+        ):
+            assert name in registry, name
+
+    def test_object_members_installed(self):
+        registry = standard_registry()
+        assert registry.find_method(registry.object_type, "toString")
+        assert registry.find_method(registry.object_type, "getClass")
+
+    def test_protected_method_modeled(self):
+        registry = standard_registry()
+        gep = registry.lookup("org.eclipse.gef.editparts.AbstractGraphicalEditPart")
+        get_layer = registry.find_method(gep, "getLayer")[0]
+        assert get_layer.visibility is Visibility.PROTECTED
+
+    def test_hierarchy_spot_checks(self):
+        registry = standard_registry()
+        assert registry.is_subtype(
+            registry.lookup("org.eclipse.jdt.core.dom.CompilationUnit"),
+            registry.lookup("org.eclipse.jdt.core.dom.ASTNode"),
+        )
+        assert registry.is_subtype(
+            registry.lookup("org.eclipse.draw2d.FigureCanvas"),
+            registry.lookup("org.eclipse.swt.widgets.Control"),
+        )
+        assert registry.is_subtype(
+            registry.lookup("java.io.LineNumberReader"),
+            registry.lookup("java.io.BufferedReader"),
+        )
+
+
+class TestStandardCorpus:
+    def test_corpus_resolves_and_typechecks(self):
+        registry = standard_registry()
+        corpus = standard_corpus(registry)
+        assert corpus.check_report is not None and corpus.check_report.ok
+        assert corpus.class_count >= 8
+
+    def test_setup_cached(self):
+        a = standard_setup()
+        b = standard_setup()
+        assert a[0] is b[0]
+        fresh = standard_setup(refresh=True)
+        assert fresh[0] is not a[0]

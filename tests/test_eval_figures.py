@@ -1,0 +1,28 @@
+"""Tests for the ASCII figure rendering."""
+
+from repro.eval import render_figure8, simulate_user_study
+
+
+class TestFigure8Rendering:
+    def test_all_problems_rendered(self):
+        text = render_figure8(simulate_user_study(seed=11))
+        for pid in (1, 2, 3, 4):
+            assert f"P{pid} " in text
+        assert text.count("with    [") == 4
+        assert text.count("without [") == 4
+
+    def test_markers_and_intervals_present(self):
+        text = render_figure8(simulate_user_study(seed=11))
+        assert "o" in text
+        assert "|" in text
+        assert "±" in text
+
+    def test_summary_line(self):
+        result = simulate_user_study(seed=11)
+        text = render_figure8(result)
+        assert f"{result.average_speedup:.2f}x" in text
+
+    def test_deterministic(self):
+        a = render_figure8(simulate_user_study(seed=4))
+        b = render_figure8(simulate_user_study(seed=4))
+        assert a == b

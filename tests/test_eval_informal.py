@@ -1,0 +1,109 @@
+"""Tests for the informal-study harness (stuck cases + prototype)."""
+
+from repro.eval import (
+    JUNGLOID,
+    MULTIPLE,
+    OTHER,
+    STUCK_CASES,
+    classify_method,
+    classify_stuck_cases,
+    run_prototype_test,
+)
+from repro.minijava import parse_minijava
+
+
+def classify_source(signature, body):
+    code = f"public class T {{ public {signature} {{ {body} }} }}"
+    unit = parse_minijava(code, "t.mj")
+    return classify_method(unit.classes[0].methods[0])
+
+
+class TestClassifier:
+    def test_linear_chain_is_jungloid(self):
+        assert classify_source("Object f(Object x)", "return x.a().b().c();") == JUNGLOID
+
+    def test_cast_chain_is_jungloid(self):
+        assert (
+            classify_source("Object f(Object x)", "return (Foo) x.a();") == JUNGLOID
+        )
+
+    def test_locals_inlined(self):
+        assert (
+            classify_source(
+                "Object f(Object x)",
+                "Object y = x.a(); Object z = y.b(); return z.c();",
+            )
+            == JUNGLOID
+        )
+
+    def test_single_compound_argument_is_jungloid(self):
+        assert (
+            classify_source("Object f(Object x)", "return new Wrapper(x.a());")
+            == JUNGLOID
+        )
+
+    def test_two_compound_arguments_decompose(self):
+        assert (
+            classify_source(
+                "Object f(Object x, Object y)", "return g(x.a(), y.b());"
+            )
+            == MULTIPLE
+        )
+
+    def test_compound_receiver_plus_compound_argument(self):
+        assert (
+            classify_source(
+                "Object f(Object x, Object y)", "return x.a().combine(y.b());"
+            )
+            == MULTIPLE
+        )
+
+    def test_loop_is_other(self):
+        assert (
+            classify_source(
+                "Object f(Object x)", "while (x.more()) { x.step(); } return x;"
+            )
+            == OTHER
+        )
+
+    def test_conditional_is_other(self):
+        assert (
+            classify_source(
+                "Object f(Object x)", "if (x.ok()) { return x.a(); } return x.b();"
+            )
+            == OTHER
+        )
+
+    def test_operator_is_not_jungloid(self):
+        assert (
+            classify_source("Object f(int a, int b)", "return box(a + b);") != JUNGLOID
+        )
+
+
+class TestStuckCaseStudy:
+    def test_sixteen_cases(self):
+        assert len(STUCK_CASES) == 16
+
+    def test_paper_split(self):
+        report = classify_stuck_cases()
+        assert report.jungloid_count == 9
+        assert report.multiple_count == 3
+        assert report.other_count == 4
+        assert report.expressible_count == 12
+        assert report.all_match_expected
+
+    def test_report_text(self):
+        text = classify_stuck_cases().format_report()
+        assert "jungloid 9/16 (paper 9)" in text
+
+
+class TestPrototype:
+    def test_nine_of_ten(self, standard_prospector):
+        report = run_prototype_test(standard_prospector)
+        assert report.trials == 10
+        assert report.hits == 9
+
+    def test_report_rows(self, standard_prospector):
+        report = run_prototype_test(standard_prospector)
+        assert len(report.rows) == 10
+        assert "9/10" in report.format_report()

@@ -1,0 +1,59 @@
+"""Tests for the solution oracle and chain signatures."""
+
+from repro.eval import SolutionOracle, chain_signature, step_signature
+from repro.jungloids import Jungloid, constructor_call, downcast, field_access, instance_call, widening
+from repro.typesystem import Constructor, Field, Method, named
+
+A = named("o.A")
+B = named("o.B")
+C = named("o.C")
+
+
+def call(owner, name, returns):
+    return instance_call(Method(owner, name, returns))[0]
+
+
+class TestSignatures:
+    def test_call_signature(self):
+        assert step_signature(call(A, "toB", B)) == "A.toB"
+
+    def test_constructor_signature(self):
+        e = constructor_call(Constructor(A))[0]
+        assert step_signature(e) == "new A"
+
+    def test_field_signature(self):
+        assert step_signature(field_access(Field(A, "next", B))) == "A.next"
+
+    def test_cast_signature(self):
+        assert step_signature(downcast(A, B)) == "cast B"
+
+    def test_chain_skips_widening(self):
+        j = Jungloid.of(call(A, "toB", B), widening(B, A), call(A, "toB", B))
+        assert chain_signature(j) == ("A.toB", "A.toB")
+
+
+class TestOracle:
+    def test_matches_alternatives(self):
+        oracle = SolutionOracle.of(["A.toB"], ["A.toB", "B.toC"])
+        assert oracle.matches(Jungloid.of(call(A, "toB", B)))
+        assert oracle.matches(Jungloid.of(call(A, "toB", B), call(B, "toC", C)))
+        assert not oracle.matches(Jungloid.of(call(B, "toC", C)))
+
+    def test_rank_in(self):
+        oracle = SolutionOracle.of(["B.toC"])
+        results = [
+            Jungloid.of(call(A, "toB", B)),
+            Jungloid.of(call(B, "toC", C)),
+        ]
+        assert oracle.rank_in(results) == 2
+        assert oracle.rank_in(results[:1]) is None
+
+    def test_none_oracle(self):
+        oracle = SolutionOracle.none()
+        assert not oracle.matches(Jungloid.of(call(A, "toB", B)))
+        assert oracle.rank_in([Jungloid.of(call(A, "toB", B))]) is None
+
+    def test_widening_invisible_to_oracle(self):
+        oracle = SolutionOracle.of(["A.toB"])
+        j = Jungloid.of(call(A, "toB", B), widening(B, A))
+        assert oracle.matches(j)

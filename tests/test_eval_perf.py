@@ -1,0 +1,62 @@
+"""Tests for the Section-5 performance measurement helpers."""
+
+from repro.eval import (
+    measure_build_memory,
+    measure_bundle,
+    measure_load,
+    measure_queries,
+    run_perf,
+)
+
+
+class TestMeasurements:
+    def test_bundle_measures_real_bytes(self, small_prospector):
+        text, size = measure_bundle(small_prospector)
+        assert size == len(text.encode("utf-8"))
+        assert size > 500
+
+    def test_load_time_positive(self, small_prospector):
+        text, _ = measure_bundle(small_prospector)
+        assert measure_load(text, repeats=1) > 0
+
+    def test_build_memory(self):
+        peak = measure_build_memory(lambda: [0] * 100000)
+        assert peak > 100000 * 4
+
+    def test_measure_queries_one_per_problem(self, standard_prospector):
+        times = measure_queries(standard_prospector)
+        assert len(times) == 20
+        assert all(t >= 0 for t in times)
+
+
+class TestPerfReport:
+    def test_full_report(self, small_prospector):
+        from repro.eval.problems import Table1Problem
+        from repro.eval.oracle import SolutionOracle
+
+        problems = [
+            Table1Problem(
+                1,
+                "toy",
+                "test",
+                "demo.io.InputStream",
+                "demo.io.BufferedReader",
+                0.1,
+                1,
+                SolutionOracle.none(),
+            )
+        ]
+        report = run_perf(small_prospector, lambda: None, problems)
+        assert report.bundle_bytes > 0
+        assert report.load_seconds > 0
+        assert len(report.query_seconds) == 1
+        assert 0 <= report.fraction_under(10.0) <= 1
+        assert "load" in report.format_report()
+
+    def test_fraction_under_empty(self):
+        from repro.eval import PerfReport
+
+        report = PerfReport()
+        assert report.fraction_under(1.0) == 0.0
+        assert report.mean_query_seconds == 0.0
+        assert report.max_query_seconds == 0.0

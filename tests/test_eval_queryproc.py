@@ -1,0 +1,95 @@
+"""Integration tests: the Table-1 query-processing experiment."""
+
+import pytest
+
+from repro.eval import (
+    TABLE1_PROBLEMS,
+    problem_by_id,
+    run_problem,
+    run_table1,
+)
+
+
+@pytest.fixture(scope="module")
+def report(standard_prospector):
+    return run_table1(standard_prospector)
+
+
+class TestTable1Problems:
+    def test_twenty_problems(self):
+        assert len(TABLE1_PROBLEMS) == 20
+        assert [p.id for p in TABLE1_PROBLEMS] == list(range(1, 21))
+
+    def test_paper_ranks_recorded(self):
+        paper_found = [p for p in TABLE1_PROBLEMS if p.paper_rank is not None]
+        assert len(paper_found) == 18
+        assert sum(1 for p in paper_found if p.paper_rank == 1) == 11
+
+    def test_problem_by_id(self):
+        assert problem_by_id(7).t_in == "java.util.Enumeration"
+        with pytest.raises(KeyError):
+            problem_by_id(99)
+
+    def test_failures_have_reasons(self):
+        for pid in (19, 20):
+            assert problem_by_id(pid).failure_reason
+
+
+class TestHeadlineResults:
+    def test_18_of_20_found(self, report):
+        assert report.found_count == 18
+
+    def test_outcome_agreement_with_paper(self, report):
+        assert report.agreement_count == 20
+
+    def test_majority_rank_one(self, report):
+        assert report.rank1_count >= 11
+
+    def test_all_found_within_five(self, report):
+        assert 0 < report.max_found_rank < 5
+
+    def test_mined_problems_found(self, report):
+        for row in report.rows:
+            if row.problem.needs_mining:
+                assert row.found, row.problem.description
+
+    def test_gef_failure_is_unreachable(self, standard_prospector):
+        row = run_problem(standard_prospector, problem_by_id(19))
+        assert row.result_count == 0
+
+    def test_workspace_failure_is_crowding(self, standard_prospector):
+        row = run_problem(standard_prospector, problem_by_id(20))
+        assert row.result_count > 10
+        assert row.full_rank is None  # genuinely not in the results
+
+    def test_format_table(self, report):
+        text = report.format_table()
+        assert "Read lines from an input stream" in text
+        assert "paper-agreement 20/20" in text
+
+    def test_rank_displays(self, report):
+        displays = {row.rank_display() for row in report.rows}
+        assert "No" in displays and "1" in displays
+
+
+class TestSpecificSolutions:
+    @pytest.mark.parametrize(
+        "pid, fragment",
+        [
+            (1, "new java.io.BufferedReader(new java.io.InputStreamReader(x))"),
+            (3, "x.getTable()"),
+            (7, "IteratorUtils.asIterator(x)"),
+            (8, "x.getSelection()"),
+        ],
+    )
+    def test_rank_one_rendering(self, standard_prospector, pid, fragment):
+        problem = problem_by_id(pid)
+        results = standard_prospector.query(problem.t_in, problem.t_out)
+        assert fragment in results[0].inline("x")
+
+    def test_figure2_query_answerable_with_mining(self, standard_prospector):
+        results = standard_prospector.query(
+            "org.eclipse.debug.ui.IDebugView",
+            "org.eclipse.jdt.internal.debug.ui.display.JavaInspectExpression",
+        )
+        assert any(r.jungloid.downcast_count == 2 for r in results)

@@ -1,0 +1,33 @@
+"""Tests for the query-sweep experiment."""
+
+from repro.eval import run_query_sweep
+
+
+class TestSweep:
+    def test_deterministic(self, small_prospector):
+        a = run_query_sweep(small_prospector, samples=40, seed=9)
+        b = run_query_sweep(small_prospector, samples=40, seed=9)
+        assert [q.t_in for q in a.queries] == [q.t_in for q in b.queries]
+        assert a.answerable_count == b.answerable_count
+
+    def test_self_pairs_skipped(self, small_prospector):
+        report = run_query_sweep(small_prospector, samples=50, seed=1)
+        assert all(q.t_in != q.t_out for q in report.queries)
+
+    def test_shortest_cost_only_for_answerable(self, small_prospector):
+        report = run_query_sweep(small_prospector, samples=50, seed=2)
+        for q in report.queries:
+            if not q.answerable:
+                assert q.shortest_cost is None
+                assert q.result_count == 0
+
+    def test_summary_consistency(self, small_prospector):
+        report = run_query_sweep(small_prospector, samples=50, seed=3)
+        assert 0 <= report.answerable_fraction <= 1
+        assert report.answerable_count == sum(1 for q in report.queries if q.answerable)
+        total_hist = sum(count for _, count in report.cost_histogram())
+        assert total_hist == report.answerable_count
+
+    def test_format(self, small_prospector):
+        text = run_query_sweep(small_prospector, samples=30, seed=4).format_report()
+        assert "answerable:" in text

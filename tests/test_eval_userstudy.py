@@ -1,0 +1,72 @@
+"""Tests for the user-study simulation."""
+
+from repro.eval import STUDY_PROBLEMS, simulate_user_study
+
+
+class TestStructure:
+    def test_four_problems(self):
+        assert len(STUDY_PROBLEMS) == 4
+        assert [p.id for p in STUDY_PROBLEMS] == [1, 2, 3, 4]
+
+    def test_each_user_two_and_two(self):
+        result = simulate_user_study(seed=5)
+        for user in range(result.users):
+            mine = [a for a in result.attempts if a.user == user]
+            assert len(mine) == 4
+            assert sum(1 for a in mine if a.with_prospector) == 2
+
+    def test_deterministic_given_seed(self):
+        a = simulate_user_study(seed=123)
+        b = simulate_user_study(seed=123)
+        assert [x.minutes for x in a.attempts] == [x.minutes for x in b.attempts]
+
+    def test_different_seeds_differ(self):
+        a = simulate_user_study(seed=1)
+        b = simulate_user_study(seed=2)
+        assert [x.minutes for x in a.attempts] != [x.minutes for x in b.attempts]
+
+
+class TestShape:
+    def test_average_speedup_near_paper(self):
+        result = simulate_user_study()
+        assert 1.5 <= result.average_speedup <= 2.5
+
+    def test_problem4_parity(self):
+        result = simulate_user_study()
+        assert 0.6 <= result.problem_speedup(4) <= 1.5
+
+    def test_most_users_faster(self):
+        result = simulate_user_study()
+        assert result.users_faster_with >= 9
+
+    def test_prospector_users_always_reuse(self):
+        result = simulate_user_study()
+        assert set(result.outcome_counts(True)) == {"reuse"}
+
+    def test_baseline_shows_reimplementation(self):
+        result = simulate_user_study()
+        without = result.outcome_counts(False)
+        assert without.get("reimplemented", 0) > 0
+
+    def test_measured_ranks_override(self):
+        slow = simulate_user_study(measured_ranks={1: 40, 2: 40, 3: 40, 4: 40})
+        fast = simulate_user_study(measured_ranks={1: 1, 2: 1, 3: 1, 4: 1})
+        assert slow.average_speedup < fast.average_speedup
+
+    def test_report_text(self):
+        result = simulate_user_study()
+        text = result.format_report()
+        assert "average per-user speedup" in text
+        assert "paper: 1.9x" in text
+
+
+class TestAggregation:
+    def test_mean_and_stdev(self):
+        result = simulate_user_study()
+        for pid in (1, 2, 3, 4):
+            assert result.mean_minutes(pid, True) > 0
+            assert result.stdev_minutes(pid, False) >= 0
+
+    def test_per_user_speedups_count(self):
+        result = simulate_user_study()
+        assert len(result.per_user_speedups()) == result.users

@@ -1,0 +1,91 @@
+"""Tests for the viability experiments over the bundled system."""
+
+import pytest
+
+from repro.eval import (
+    measure_downcast_ablation,
+    measure_mined_examples,
+    measure_top_results,
+)
+from repro.runtime import Outcome, Runtime, eclipse_behavior_model
+
+
+@pytest.fixture(scope="module")
+def runtime(standard_registry_and_corpus):
+    registry, _ = standard_registry_and_corpus
+    return Runtime(eclipse_behavior_model(registry))
+
+
+class TestEclipseModel:
+    def test_figure2_jungloid_executes_viably(self, standard_prospector, runtime):
+        results = standard_prospector.query(
+            "org.eclipse.debug.ui.IDebugView",
+            "org.eclipse.jdt.internal.debug.ui.display.JavaInspectExpression",
+        )
+        mined = next(r for r in results if r.jungloid.downcast_count == 2)
+        execution = runtime.execute(mined.jungloid)
+        assert execution.viable
+        assert str(execution.value.dynamic_type).endswith("JavaInspectExpression")
+
+    def test_unmined_object_cast_fails(self, standard_prospector, runtime):
+        # Casting a generic getInput() result must throw, per §4.1.
+        from repro.jungloids import Jungloid, downcast, instance_call
+
+        registry = standard_prospector.registry
+        viewer = registry.lookup("org.eclipse.jface.viewers.Viewer")
+        get_input = registry.find_method(viewer, "getInput")[0]
+        jie = registry.lookup(
+            "org.eclipse.jdt.internal.debug.ui.display.JavaInspectExpression"
+        )
+        j = Jungloid.of(instance_call(get_input)[0], downcast(registry.object_type, jie))
+        assert runtime.execute(j).outcome is Outcome.CLASS_CAST
+
+    def test_selection_element_depends_on_context(self, standard_prospector, runtime):
+        registry = standard_prospector.registry
+        from repro.jungloids import Jungloid, downcast, instance_call
+
+        page = registry.lookup("org.eclipse.ui.IWorkbenchPage")
+        get_sel = registry.find_method(page, "getSelection")[0]
+        isel = registry.lookup("org.eclipse.jface.viewers.ISelection")
+        iss = registry.lookup("org.eclipse.jface.viewers.IStructuredSelection")
+        first = registry.find_method(iss, "getFirstElement")[0]
+        ifile = registry.lookup("org.eclipse.core.resources.IFile")
+        j = Jungloid.of(
+            instance_call(get_sel)[0],
+            downcast(isel, iss),
+            instance_call(first)[0],
+            downcast(registry.object_type, ifile),
+        )
+        # A page selection holds the selected resource: the IFile cast works.
+        assert runtime.execute(j).viable
+
+
+class TestExperiments:
+    def test_top_results_mostly_viable(self, standard_prospector, runtime):
+        report = measure_top_results(standard_prospector, runtime=runtime)
+        assert report.viability_rate >= 0.9
+
+    def test_mined_examples_mostly_viable(
+        self, standard_registry_and_corpus, standard_prospector, runtime
+    ):
+        registry, _ = standard_registry_and_corpus
+        report = measure_mined_examples(
+            registry, standard_prospector.mining.examples, runtime=runtime
+        )
+        assert report.viability_rate >= 0.8
+        assert report.cast_failures == 0
+
+    def test_ablation_inviable(self, standard_registry_and_corpus, runtime):
+        registry, _ = standard_registry_and_corpus
+        report, results = measure_downcast_ablation(
+            registry,
+            "org.eclipse.debug.ui.IDebugView",
+            "org.eclipse.jdt.internal.debug.ui.display.JavaInspectExpression",
+            runtime=runtime,
+        )
+        assert report.viable == 0
+        assert len(results) == report.total
+
+    def test_report_str(self, standard_prospector, runtime):
+        report = measure_top_results(standard_prospector, runtime=runtime)
+        assert "viable" in str(report)

@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs end to end and says what it should."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXPECTED_FRAGMENTS = {
+    "quickstart.py": "new java.io.BufferedReader(new java.io.InputStreamReader(in))",
+    "parse_java_file.py": "JavaCore.createCompilationUnitFrom",
+    "faq270_editor_document.py": "DocumentProviderRegistry.getDefault()",
+    "mine_and_query.py": "shortest distinguishing suffixes",
+    "completion_assist.py": "e.display.getActiveShell()",
+    "runtime_viability.py": "class-cast-exception",
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_FRAGMENTS))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert EXPECTED_FRAGMENTS[script] in result.stdout
+
+
+def test_all_examples_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_FRAGMENTS)

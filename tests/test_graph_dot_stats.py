@@ -1,0 +1,101 @@
+"""Tests for the DOT exporter and graph statistics."""
+
+from repro.apispec import load_api_text
+from repro.graph import (
+    JungloidGraph,
+    SignatureGraph,
+    graph_stats,
+    path_dot,
+    subgraph_dot,
+)
+from repro.jungloids import Jungloid, downcast, instance_call
+from repro.typesystem import named
+
+API = """
+package java.lang;
+public class String {}
+package d;
+public class Hub {
+  public Hub();
+  public Spoke getSpoke();
+  public String getName();
+}
+public class Spoke {
+  public Hub getHub();
+}
+public class Rim extends Spoke {}
+"""
+
+
+def build():
+    registry = load_api_text(API)
+    return registry, SignatureGraph.from_registry(registry)
+
+
+class TestSubgraphDot:
+    def test_basic_structure(self):
+        registry, graph = build()
+        dot = subgraph_dot(graph, [named("d.Hub")], radius=1, title="demo")
+        assert dot.startswith("digraph")
+        assert dot.endswith("}")
+        assert '"d.Hub"' in dot
+        assert "getSpoke" in dot
+        assert 'label="demo"' in dot
+
+    def test_widening_edges_dotted(self):
+        registry, graph = build()
+        dot = subgraph_dot(graph, [named("d.Rim")], radius=1)
+        assert "style=dotted" in dot
+
+    def test_highlight_bold(self):
+        registry, graph = build()
+        hub = named("d.Hub")
+        edge = next(
+            e for e in graph.out_edges(hub) if getattr(e.elementary.member, "name", "") == "getSpoke"
+        )
+        dot = subgraph_dot(graph, [hub], radius=1, highlight=[edge])
+        assert "penwidth=2.5" in dot
+
+    def test_max_nodes_respected(self):
+        registry, graph = build()
+        dot = subgraph_dot(graph, [named("d.Hub")], radius=3, max_nodes=2)
+        # Node lines: exactly the selected few (count label attribute lines).
+        node_lines = [l for l in dot.splitlines() if "label=" in l and "->" not in l and not l.strip().startswith("label=")]
+        assert len(node_lines) <= 3  # 2 selected + possible title line
+
+    def test_unknown_root_is_ignored(self):
+        registry, graph = build()
+        dot = subgraph_dot(graph, [named("x.Nope")])
+        assert "digraph" in dot
+
+
+class TestPathDot:
+    def test_mined_path_rendering(self):
+        registry = load_api_text(API)
+        hub = registry.lookup("d.Hub")
+        spoke = registry.lookup("d.Spoke")
+        rim = registry.lookup("d.Rim")
+        get_spoke = registry.find_method(hub, "getSpoke")[0]
+        mined = Jungloid.of(instance_call(get_spoke)[0], downcast(spoke, rim))
+        graph = JungloidGraph.build(registry, [mined])
+        dot = path_dot(graph.mined_paths[0], title="Figure 6 style")
+        assert "style=dashed" in dot  # typestate node
+        assert "(d.Rim)" in dot  # cast label
+
+
+class TestStats:
+    def test_counts(self):
+        registry, graph = build()
+        stats = graph_stats(graph)
+        assert stats.nodes == graph.node_count()
+        assert stats.edges == graph.edge_count()
+        assert stats.typestate_nodes == 0
+        assert stats.widening_edges > 0
+        assert stats.downcast_edges == 0
+
+    def test_rows_and_str(self):
+        _, graph = build()
+        stats = graph_stats(graph)
+        labels = [label for label, _ in stats.rows()]
+        assert "nodes" in labels and "edges" in labels
+        assert "nodes" in str(stats)

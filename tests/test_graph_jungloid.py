@@ -1,0 +1,87 @@
+"""Tests for the jungloid graph's typestate splicing (Section 4.2)."""
+
+from repro.apispec import load_api_text
+from repro.graph import JungloidGraph, TypestateNode, node_base_type
+from repro.jungloids import Jungloid, downcast, instance_call
+from repro.typesystem import Method, named
+
+API = """
+package java.lang;
+public class String {}
+package g;
+public class View {
+  public View();
+  public Object getInput();
+  public Object getSelection();
+}
+public class Model {}
+"""
+
+
+def mined_jungloid(registry):
+    view = registry.lookup("g.View")
+    obj = registry.object_type
+    model = registry.lookup("g.Model")
+    get_selection = next(
+        m for m in registry.declared_methods(view) if m.name == "getSelection"
+    )
+    return Jungloid.of(instance_call(get_selection)[0], downcast(obj, model))
+
+
+class TestSplicing:
+    def test_mined_path_creates_typestates(self):
+        registry = load_api_text(API)
+        graph = JungloidGraph.build(registry, [mined_jungloid(registry)])
+        typestates = graph.typestate_nodes()
+        assert len(typestates) == 1
+        ts = typestates[0]
+        assert node_base_type(ts) == registry.object_type
+        assert ts.tag == "Object-1"
+
+    def test_endpoints_are_real_nodes(self):
+        registry = load_api_text(API)
+        graph = JungloidGraph.build(registry, [mined_jungloid(registry)])
+        path = graph.mined_paths[0]
+        assert path[0].source == registry.lookup("g.View")
+        assert path[-1].target == registry.lookup("g.Model")
+        assert isinstance(path[0].target, TypestateNode)
+
+    def test_real_object_node_has_no_cast_edge(self):
+        registry = load_api_text(API)
+        graph = JungloidGraph.build(registry, [mined_jungloid(registry)])
+        assert all(not e.is_downcast for e in graph.out_edges(registry.object_type))
+
+    def test_typestate_tags_unique_across_paths(self):
+        registry = load_api_text(API)
+        j = mined_jungloid(registry)
+        graph = JungloidGraph.build(registry, [j, j])
+        tags = [t.tag for t in graph.typestate_nodes()]
+        assert len(tags) == len(set(tags)) == 2
+
+    def test_signature_edges_still_present(self):
+        registry = load_api_text(API)
+        graph = JungloidGraph.build(registry, [mined_jungloid(registry)])
+        view = registry.lookup("g.View")
+        assert any(
+            getattr(e.elementary.member, "name", "") == "getInput"
+            for e in graph.out_edges(view)
+        )
+
+    def test_find_typestate(self):
+        registry = load_api_text(API)
+        graph = JungloidGraph.build(registry, [mined_jungloid(registry)])
+        assert graph.find_typestate("Object-1") is not None
+        assert graph.find_typestate("Object-99") is None
+
+    def test_mined_path_count(self):
+        registry = load_api_text(API)
+        graph = JungloidGraph.build(registry, [mined_jungloid(registry)])
+        assert graph.mined_path_count() == 1
+
+    def test_single_step_mined_path(self):
+        registry = load_api_text(API)
+        j = Jungloid.of(downcast(registry.object_type, registry.lookup("g.Model")))
+        graph = JungloidGraph.build(registry, [j])
+        # A bare cast connects two real nodes with no typestates.
+        assert not graph.typestate_nodes()
+        assert graph.mined_paths[0][0].source == registry.object_type

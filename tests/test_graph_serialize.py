@@ -1,0 +1,152 @@
+"""Tests for registry / jungloid / bundle serialization."""
+
+import json
+
+import pytest
+
+from repro.apispec import generate_synthetic_api, SyntheticApiConfig, load_api_text
+from repro.graph import (
+    bundle_from_json,
+    bundle_to_json,
+    elementary_from_dict,
+    elementary_to_dict,
+    jungloid_from_dict,
+    jungloid_to_dict,
+    load_graph_from_json,
+    registry_from_dict,
+    registry_to_dict,
+    type_from_string,
+    type_to_string,
+)
+from repro.jungloids import Jungloid, downcast, instance_call, widening
+from repro.typesystem import ArrayType, PRIMITIVES, VOID, named
+
+API = """
+package java.lang;
+public class String {}
+package s;
+public interface IThing { String label(); }
+public abstract class Base implements IThing {
+  public String label();
+  public static Base getDefault();
+  public Base twin;
+}
+public class Leaf extends Base {
+  public Leaf(Base parent, int n);
+  public Leaf[] children();
+}
+"""
+
+
+class TestTypeStrings:
+    @pytest.mark.parametrize(
+        "text",
+        ["void", "int", "java.lang.String", "s.Leaf[]", "int[][]"],
+    )
+    def test_roundtrip(self, text):
+        assert type_to_string(type_from_string(text)) == text
+
+    def test_parses_to_expected_kinds(self):
+        assert type_from_string("void") == VOID
+        assert type_from_string("int") == PRIMITIVES["int"]
+        assert type_from_string("a.B") == named("a.B")
+        assert isinstance(type_from_string("a.B[]"), ArrayType)
+
+
+class TestRegistryRoundtrip:
+    def test_roundtrip_preserves_everything(self):
+        original = load_api_text(API)
+        restored = registry_from_dict(registry_to_dict(original))
+        assert restored.stats() == original.stats()
+        leaf = restored.lookup("s.Leaf")
+        assert restored.is_subtype(leaf, restored.lookup("s.IThing"))
+        ctor = restored.constructors_of(leaf)[0]
+        assert [str(t) for t in ctor.parameter_types] == ["s.Base", "int"]
+        assert restored.declaration_of(restored.lookup("s.Base")).abstract
+
+    def test_roundtrip_synthetic_scale(self):
+        original = generate_synthetic_api(SyntheticApiConfig(packages=3))
+        restored = registry_from_dict(registry_to_dict(original))
+        assert restored.stats() == original.stats()
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            registry_from_dict({"format": "nope", "types": []})
+
+    def test_object_methods_preserved(self):
+        original = load_api_text(API)
+        from repro.typesystem import Method
+
+        original.add_method(Method(original.object_type, "toString", named("java.lang.String")))
+        restored = registry_from_dict(registry_to_dict(original))
+        assert restored.find_method(restored.object_type, "toString")
+
+
+class TestJungloidRoundtrip:
+    def _registry(self):
+        return load_api_text(API)
+
+    def test_instance_call_roundtrip(self):
+        r = self._registry()
+        m = r.find_method(r.lookup("s.Base"), "label")[0]
+        e = instance_call(m)[0]
+        restored = elementary_from_dict(r, elementary_to_dict(e))
+        assert restored == e
+
+    def test_widening_and_cast_roundtrip(self):
+        r = self._registry()
+        for e in (
+            widening(named("s.Leaf"), named("s.Base")),
+            downcast(named("s.Base"), named("s.Leaf")),
+        ):
+            assert elementary_from_dict(r, elementary_to_dict(e)) == e
+
+    def test_constructor_variant_roundtrip(self):
+        from repro.jungloids import constructor_call
+
+        r = self._registry()
+        ctor = r.constructors_of(r.lookup("s.Leaf"))[0]
+        e = constructor_call(ctor)[0]  # flow through the Base parameter
+        restored = elementary_from_dict(r, elementary_to_dict(e))
+        assert restored.flow_position == e.flow_position
+        assert restored == e
+
+    def test_whole_jungloid_roundtrip(self):
+        r = self._registry()
+        m = r.find_method(r.lookup("s.Base"), "label")[0]
+        j = Jungloid.of(widening(named("s.Leaf"), named("s.Base")), instance_call(m)[0])
+        restored = jungloid_from_dict(r, jungloid_to_dict(j))
+        assert restored.steps == j.steps
+
+    def test_unknown_member_rejected(self):
+        r = self._registry()
+        entry = {
+            "kind": "call",
+            "input": "s.Base",
+            "output": "java.lang.String",
+            "flow": -1,
+            "member": {"method": "ghost", "owner": "s.Base", "params": []},
+        }
+        with pytest.raises(ValueError):
+            elementary_from_dict(r, entry)
+
+
+class TestBundle:
+    def test_bundle_roundtrip_and_rebuild(self):
+        r = load_api_text(API)
+        m = r.find_method(r.lookup("s.Base"), "label")[0]
+        mined = Jungloid.of(
+            instance_call(m)[0],
+        )
+        text = bundle_to_json(r, [mined])
+        json.loads(text)  # valid JSON
+        registry2, mined2 = bundle_from_json(text)
+        assert registry2.stats() == r.stats()
+        assert mined2[0].steps == mined.steps
+
+        graph = load_graph_from_json(text)
+        assert graph.mined_path_count() == 1
+
+    def test_bundle_bad_format(self):
+        with pytest.raises(ValueError):
+            bundle_from_json('{"format": "bogus"}')

@@ -1,0 +1,145 @@
+"""Tests for signature graph construction (Section 3.1)."""
+
+from repro.apispec import load_api_text
+from repro.graph import SignatureGraph, node_label
+from repro.jungloids import ElementaryKind
+from repro.typesystem import VOID, named
+
+API = """
+package java.lang;
+public class String {}
+
+package g;
+public interface IBase { String name(); }
+public class Base implements IBase {
+  public Base();
+  public String name();
+  public Child child;
+  public static Base getDefault();
+}
+public class Child extends Base {
+  public Child(Base parent);
+  public Base[] siblings();
+  protected Child secret();
+}
+public abstract class Shape {
+  public Shape();
+  public int area();
+}
+"""
+
+
+def build(**kwargs):
+    registry = load_api_text(API)
+    return registry, SignatureGraph.from_registry(registry, **kwargs)
+
+
+class TestNodesAndEdges:
+    def test_all_declared_types_are_nodes(self):
+        registry, graph = build()
+        for t in registry.all_types():
+            assert graph.has_node(t)
+        assert graph.has_node(VOID)
+
+    def test_array_types_in_signatures_become_nodes(self):
+        registry, graph = build()
+        from repro.typesystem import array_of
+
+        assert graph.has_node(array_of(named("g.Base")))
+
+    def test_instance_method_edge(self):
+        registry, graph = build()
+        edges = graph.out_edges(named("g.Base"))
+        assert any(
+            e.elementary.kind is ElementaryKind.INSTANCE_CALL
+            and getattr(e.elementary.member, "name", "") == "name"
+            for e in edges
+        )
+
+    def test_constructor_edges(self):
+        registry, graph = build()
+        void_edges = graph.out_edges(VOID)
+        assert any(
+            e.elementary.kind is ElementaryKind.CONSTRUCTOR and e.target == named("g.Base")
+            for e in void_edges
+        )
+        # Child(Base) flows from Base.
+        assert any(
+            e.elementary.kind is ElementaryKind.CONSTRUCTOR and e.target == named("g.Child")
+            for e in graph.out_edges(named("g.Base"))
+        )
+
+    def test_abstract_class_constructor_skipped(self):
+        registry, graph = build()
+        assert not any(
+            e.elementary.kind is ElementaryKind.CONSTRUCTOR and e.target == named("g.Shape")
+            for e in graph.out_edges(VOID)
+        )
+
+    def test_static_method_edge_from_void(self):
+        registry, graph = build()
+        assert any(
+            getattr(e.elementary.member, "name", "") == "getDefault"
+            for e in graph.out_edges(VOID)
+        )
+
+    def test_field_edge(self):
+        registry, graph = build()
+        assert any(
+            e.elementary.kind is ElementaryKind.FIELD_ACCESS
+            for e in graph.out_edges(named("g.Base"))
+        )
+
+    def test_widening_edges_follow_hierarchy(self):
+        registry, graph = build()
+        child_targets = {
+            e.target for e in graph.out_edges(named("g.Child")) if e.is_widening
+        }
+        assert child_targets == {named("g.Base")}
+        base_targets = {
+            e.target for e in graph.out_edges(named("g.Base")) if e.is_widening
+        }
+        assert base_targets == {registry.object_type, named("g.IBase")}
+
+    def test_protected_members_excluded_by_default(self):
+        registry, graph = build()
+        assert not any(
+            getattr(e.elementary.member, "name", "") == "secret"
+            for e in graph.edges()
+        )
+
+    def test_protected_members_included_when_asked(self):
+        registry, graph = build(public_only=False)
+        assert any(
+            getattr(e.elementary.member, "name", "") == "secret"
+            for e in graph.edges()
+        )
+
+    def test_no_downcast_edges_by_default(self):
+        _, graph = build()
+        assert graph.downcast_edge_count() == 0
+
+    def test_downcast_ablation(self):
+        registry, graph = build(include_downcasts=True)
+        assert graph.downcast_edge_count() > 0
+        # Object has a downcast edge to every class.
+        obj_casts = [e for e in graph.out_edges(registry.object_type) if e.is_downcast]
+        assert len(obj_casts) == len(registry.all_subtypes(registry.object_type))
+
+    def test_in_edges_mirror_out_edges(self):
+        _, graph = build()
+        assert sum(len(graph.in_edges(n)) for n in graph.nodes) == graph.edge_count()
+
+
+class TestPathConversion:
+    def test_path_to_jungloid(self):
+        registry, graph = build()
+        base = named("g.Base")
+        edge = next(
+            e for e in graph.out_edges(base) if getattr(e.elementary.member, "name", "") == "name"
+        )
+        j = SignatureGraph.path_to_jungloid([edge])
+        assert j.input_type == base
+
+    def test_node_label(self):
+        assert node_label(named("g.Base")) == "g.Base"

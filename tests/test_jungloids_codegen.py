@@ -1,0 +1,113 @@
+"""Tests for Java code generation from jungloids."""
+
+from repro.jungloids import (
+    Jungloid,
+    NameAllocator,
+    constructor_call,
+    downcast,
+    instance_call,
+    render_inline,
+    render_statements,
+    widening,
+)
+from repro.typesystem import Constructor, Method, Parameter, named
+
+A = named("p.A")
+B = named("p.B")
+C = named("p.C")
+IFACE = named("p.IWidget")
+
+
+def call(owner, name, returns, params=()):
+    return instance_call(Method(owner, name, returns, tuple(params)))[0]
+
+
+class TestNameAllocator:
+    def test_names_derive_from_type(self):
+        alloc = NameAllocator()
+        assert alloc.fresh(named("p.BufferedReader")) == "bufferedReader"
+
+    def test_interface_prefix_stripped(self):
+        alloc = NameAllocator()
+        assert alloc.fresh(named("p.IFile")) == "file"
+
+    def test_collisions_numbered(self):
+        alloc = NameAllocator()
+        assert alloc.fresh(A) == "a"
+        assert alloc.fresh(A) == "a1"
+        assert alloc.fresh(A) == "a2"
+
+    def test_reserved_names_avoided(self):
+        alloc = NameAllocator(reserved=["a"])
+        assert alloc.fresh(A) == "a1"
+
+    def test_reserve(self):
+        alloc = NameAllocator()
+        assert alloc.reserve("x") == "x"
+        assert alloc.reserve("x") == "x1"
+
+
+class TestRenderStatements:
+    def test_one_declaration_per_step(self):
+        j = Jungloid.of(call(A, "b", B), call(B, "c", C))
+        snippet = render_statements(j, "input", "result")
+        assert snippet.lines == [
+            "p.B b = input.b();",
+            "p.C result = b.c();",
+        ]
+        assert snippet.result_variable == "result"
+
+    def test_widening_invisible(self):
+        j = Jungloid.of(call(A, "b", B), widening(B, A), call(A, "b", B))
+        snippet = render_statements(j, "x", "out")
+        assert len(snippet.lines) == 2
+
+    def test_trailing_widening_aliases_result(self):
+        j = Jungloid.of(call(A, "b", B), widening(B, A))
+        snippet = render_statements(j, "x", "out")
+        assert snippet.lines[-1] == "p.A out = b;"
+        assert snippet.result_variable == "out"
+
+    def test_free_variables_declared(self):
+        j = Jungloid.of(call(A, "f", B, [Parameter("k", C)]))
+        snippet = render_statements(j, "x", "out")
+        # Free variables are named from their type, deterministically.
+        assert snippet.lines[0] == "p.C c1; // free variable"
+        assert snippet.free_variables[0].type == C
+        assert "x.f(c1)" in snippet.lines[1]
+
+    def test_free_variable_declarations_can_be_suppressed(self):
+        j = Jungloid.of(call(A, "f", B, [Parameter("k", C)]))
+        snippet = render_statements(j, "x", "out", declare_free_variables=False)
+        assert all("free variable" not in line for line in snippet.lines)
+        assert snippet.free_variables  # still reported
+
+    def test_void_input_needs_no_variable(self):
+        j = Jungloid.of(constructor_call(Constructor(A))[0])
+        snippet = render_statements(j, result_variable="a")
+        assert snippet.lines == ["p.A a = new p.A();"]
+
+    def test_cast_step(self):
+        j = Jungloid.of(call(A, "b", B), downcast(B, C))
+        snippet = render_statements(j, "x", "c")
+        assert snippet.lines[-1] == "p.C c = (p.C) b;"
+
+    def test_default_input_variable(self):
+        j = Jungloid.of(call(A, "b", B))
+        snippet = render_statements(j)
+        assert "input.b()" in snippet.lines[0]
+
+    def test_text_joins_lines(self):
+        j = Jungloid.of(call(A, "b", B), call(B, "c", C))
+        snippet = render_statements(j, "x")
+        assert snippet.text == "\n".join(snippet.lines)
+
+
+class TestRenderInline:
+    def test_inline_nested(self):
+        j = Jungloid.of(call(A, "b", B), call(B, "c", C))
+        assert render_inline(j, "x") == "x.b().c()"
+
+    def test_inline_void_input(self):
+        j = Jungloid.of(constructor_call(Constructor(A))[0])
+        assert render_inline(j) == "new p.A()"

@@ -1,0 +1,65 @@
+"""Tests for the cost model (Section 3.2's extended length heuristic)."""
+
+from repro.jungloids import (
+    CostModel,
+    DEFAULT_COST_MODEL,
+    FREE_VARIABLE_COST,
+    Jungloid,
+    instance_call,
+    jungloid_cost,
+    widening,
+)
+from repro.typesystem import Method, Parameter, PRIMITIVES, named
+
+A = named("p.A")
+B = named("p.B")
+C = named("p.C")
+
+
+def call(owner, name, returns, params=()):
+    return instance_call(Method(owner, name, returns, tuple(params)))[0]
+
+
+class TestDefaultModel:
+    def test_plain_steps_cost_one(self):
+        j = Jungloid.of(call(A, "b", B), call(B, "c", C))
+        assert jungloid_cost(j) == 2
+
+    def test_widening_free(self):
+        j = Jungloid.of(call(A, "b", B), widening(B, A), call(A, "b", B))
+        assert jungloid_cost(j) == 2
+
+    def test_reference_free_variable_costs_two(self):
+        j = Jungloid.of(call(A, "f", B, [Parameter("k", C)]))
+        assert jungloid_cost(j) == 1 + FREE_VARIABLE_COST
+
+    def test_primitive_free_variable_is_free(self):
+        j = Jungloid.of(call(A, "f", B, [Parameter("n", PRIMITIVES["int"])]))
+        assert jungloid_cost(j) == 1
+
+    def test_step_total_matches_sum(self):
+        j = Jungloid.of(
+            call(A, "f", B, [Parameter("k", C)]),
+            widening(B, A),
+            call(A, "b", B),
+        )
+        assert jungloid_cost(j) == sum(
+            DEFAULT_COST_MODEL.step_total(s) for s in j.steps
+        )
+
+
+class TestAlternativeModels:
+    def test_charging_primitives(self):
+        model = CostModel(charge_primitive_free_variables=True)
+        j = Jungloid.of(call(A, "f", B, [Parameter("n", PRIMITIVES["int"])]))
+        assert model.cost(j) == 1 + FREE_VARIABLE_COST
+
+    def test_custom_free_cost(self):
+        model = CostModel(free_variable_cost=5)
+        j = Jungloid.of(call(A, "f", B, [Parameter("k", C)]))
+        assert model.cost(j) == 6
+
+    def test_nonzero_widening(self):
+        model = CostModel(widening_cost=1)
+        j = Jungloid.of(call(A, "b", B), widening(B, A))
+        assert model.cost(j) == 2

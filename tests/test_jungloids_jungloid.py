@@ -1,0 +1,120 @@
+"""Tests for jungloid composition (Definition 3) and shape queries."""
+
+import pytest
+
+from repro.jungloids import (
+    CompositionError,
+    Jungloid,
+    compose_all,
+    downcast,
+    field_access,
+    instance_call,
+    widening,
+)
+from repro.typesystem import Field, Method, named
+
+A = named("p.A")
+B = named("p.B")
+C = named("p.C")
+D = named("p.D")
+
+
+def call(owner, name, returns):
+    return instance_call(Method(owner, name, returns))[0]
+
+
+@pytest.fixture()
+def chain():
+    return Jungloid.of(call(A, "b", B), call(B, "c", C), call(C, "d", D))
+
+
+class TestComposition:
+    def test_well_typed_chain(self, chain):
+        assert chain.input_type == A
+        assert chain.output_type == D
+        assert chain.solves(A, D)
+        assert not chain.solves(A, C)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompositionError):
+            Jungloid(())
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(CompositionError):
+            Jungloid.of(call(A, "b", B), call(C, "d", D))
+
+    def test_compose_jungloids(self, chain):
+        head = Jungloid.of(call(A, "b", B))
+        tail = Jungloid.of(call(B, "c", C), call(C, "d", D))
+        assert head.compose(tail).steps == chain.steps
+
+    def test_compose_all(self, chain):
+        parts = [Jungloid.of(s) for s in chain.steps]
+        assert compose_all(parts).steps == chain.steps
+        with pytest.raises(CompositionError):
+            compose_all([])
+
+    def test_then(self, chain):
+        extended = chain.prefix(2).then(call(C, "d", D))
+        assert extended.steps == chain.steps
+
+
+class TestShape:
+    def test_length_ignores_widening(self):
+        j = Jungloid.of(call(A, "b", B), widening(B, A), call(A, "b", B))
+        assert len(j) == 3
+        assert j.length == 2
+
+    def test_downcast_queries(self):
+        j = Jungloid.of(call(A, "b", B), downcast(B, C))
+        assert j.has_downcast
+        assert j.downcast_count == 1
+        assert j.final_downcast is j.steps[-1]
+        assert Jungloid.of(call(A, "b", B)).final_downcast is None
+
+    def test_visited_types_and_acyclicity(self, chain):
+        assert chain.visited_types() == (A, B, C, D)
+        assert chain.is_acyclic()
+        loop = Jungloid.of(call(A, "b", B), call(B, "a", A))
+        assert not loop.is_acyclic()
+
+    def test_suffix_prefix(self, chain):
+        assert chain.suffix(1).steps == chain.steps[-1:]
+        assert chain.suffix(3).steps == chain.steps
+        assert chain.prefix(2).output_type == C
+        with pytest.raises(ValueError):
+            chain.suffix(0)
+        with pytest.raises(ValueError):
+            chain.suffix(4)
+
+    def test_suffixes_shortest_first(self, chain):
+        lengths = [len(s) for s in chain.suffixes()]
+        assert lengths == [1, 2, 3]
+
+    def test_kind_signature(self, chain):
+        assert len(chain.kind_signature()) == 3
+
+
+class TestFreeVariablesAndRendering:
+    def test_free_variables_renamed_apart(self):
+        from repro.typesystem import Parameter
+
+        m1 = instance_call(Method(A, "f", B, (Parameter("k", C),)))[0]
+        m2 = instance_call(Method(B, "g", C, (Parameter("k", C),)))[0]
+        j = Jungloid.of(m1, m2)
+        names = [v.name for v in j.free_variables()]
+        assert len(names) == len(set(names))
+
+    def test_render_expression(self, chain):
+        assert chain.render_expression("x") == "x.b().c().d()"
+
+    def test_render_parenthesizes_mid_chain_cast(self):
+        j = Jungloid.of(field_access(Field(A, "w", B)), downcast(B, C), call(C, "d", D))
+        assert j.render_expression("e") == "((p.C) e.w).d()"
+
+    def test_final_cast_not_parenthesized(self):
+        j = Jungloid.of(call(A, "b", B), downcast(B, C))
+        assert j.render_expression("x") == "(p.C) x.b()"
+
+    def test_describe_mentions_types(self, chain):
+        assert "p.A → p.D" in chain.describe()

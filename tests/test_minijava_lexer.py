@@ -1,0 +1,71 @@
+"""Tests for the mini-Java lexer."""
+
+import pytest
+
+from repro.minijava import MjLexError, MjTokenKind, tokenize
+
+
+def texts(src):
+    return [t.text for t in tokenize(src) if t.kind is not MjTokenKind.EOF]
+
+
+class TestTokens:
+    def test_keywords_and_identifiers(self):
+        toks = tokenize("return newValue new")
+        assert toks[0].kind is MjTokenKind.KEYWORD
+        assert toks[1].kind is MjTokenKind.IDENT  # maximal munch: not "new"
+        assert toks[2].kind is MjTokenKind.KEYWORD
+
+    def test_int_literals(self):
+        toks = tokenize("0 42 0xFF 10L")
+        assert all(t.kind is MjTokenKind.INT_LIT for t in toks[:-1])
+
+    def test_string_literal(self):
+        toks = tokenize('"hello world"')
+        assert toks[0].kind is MjTokenKind.STRING_LIT
+        assert toks[0].text == "hello world"
+
+    def test_string_with_escapes(self):
+        toks = tokenize(r'"a\"b"')
+        assert toks[0].text == 'a\\"b'
+
+    def test_unterminated_string(self):
+        with pytest.raises(MjLexError):
+            tokenize('"never ends')
+
+    def test_char_literal(self):
+        toks = tokenize("'x' '\\n'")
+        assert toks[0].kind is MjTokenKind.CHAR_LIT
+        assert toks[0].text == "x"
+        assert toks[1].text == "\\n"
+
+    def test_unterminated_char(self):
+        with pytest.raises(MjLexError):
+            tokenize("'x")
+
+    def test_two_char_operators_are_single_tokens(self):
+        assert texts("a == b != c <= d >= e && f || g") == [
+            "a", "==", "b", "!=", "c", "<=", "d", ">=", "e", "&&", "f", "||", "g",
+        ]
+
+    def test_comments(self):
+        assert texts("a // line\n b /* block\nmore */ c") == ["a", "b", "c"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(MjLexError):
+            tokenize("a /* no end")
+
+    def test_unexpected_character(self):
+        with pytest.raises(MjLexError):
+            tokenize("a # b")
+
+
+class TestPositions:
+    def test_multiline_positions(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_position_inside_line(self):
+        toks = tokenize("ab cd")
+        assert toks[1].column == 4

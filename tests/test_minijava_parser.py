@@ -1,0 +1,175 @@
+"""Tests for the mini-Java parser."""
+
+import pytest
+
+from repro.minijava import (
+    AssignStmt,
+    BinaryExpr,
+    Block,
+    CallExpr,
+    CastExpr,
+    ExprStmt,
+    FieldAccessExpr,
+    IfStmt,
+    LocalVarDecl,
+    MjParseError,
+    NewExpr,
+    ReturnStmt,
+    StringLit,
+    ThisExpr,
+    VarRef,
+    WhileStmt,
+    parse_minijava,
+)
+
+
+def parse_method_body(body, params="") -> Block:
+    unit = parse_minijava(
+        f"package p; public class C {{ public void m({params}) {{ {body} }} }}"
+    )
+    return unit.classes[0].methods[0].body
+
+
+def parse_expr(expr_text, params=""):
+    body = parse_method_body(f"{expr_text};", params)
+    stmt = body.statements[0]
+    assert isinstance(stmt, ExprStmt)
+    return stmt.expr
+
+
+class TestUnitStructure:
+    def test_package_imports_classes(self):
+        unit = parse_minijava(
+            "package a.b; import x.Y; import x.Z; public class C {} class D {}"
+        )
+        assert unit.package == "a.b"
+        assert unit.imports == ["x.Y", "x.Z"]
+        assert [c.qualified_name for c in unit.classes] == ["a.b.C", "a.b.D"]
+
+    def test_class_heritage(self):
+        unit = parse_minijava("package p; class C extends D implements I, J {}")
+        cls = unit.classes[0]
+        assert cls.extends.name == "D"
+        assert [i.name for i in cls.implements] == ["I", "J"]
+
+    def test_interface(self):
+        unit = parse_minijava("package p; interface I extends J { void run(); }")
+        cls = unit.classes[0]
+        assert cls.is_interface
+        assert cls.methods[0].body is None
+
+    def test_fields_and_methods(self):
+        unit = parse_minijava(
+            "package p; class C { int count; static String NAME; String f(int x) { return null; } }"
+        )
+        cls = unit.classes[0]
+        assert [f.name for f in cls.fields] == ["count", "NAME"]
+        assert cls.fields[1].static
+        assert cls.methods[0].params[0].name == "x"
+
+    def test_constructor(self):
+        unit = parse_minijava("package p; class C { C(int x) { } }")
+        m = unit.classes[0].methods[0]
+        assert m.is_constructor
+
+
+class TestStatements:
+    def test_local_decl_with_init(self):
+        body = parse_method_body("demo.Foo x = null;")
+        stmt = body.statements[0]
+        assert isinstance(stmt, LocalVarDecl)
+        assert stmt.type_ref.name == "demo.Foo"
+
+    def test_local_decl_array_type(self):
+        stmt = parse_method_body("Foo[] xs = null;").statements[0]
+        assert stmt.type_ref.dims == 1
+
+    def test_assignment_vs_expression(self):
+        body = parse_method_body("x = y; f();", params="int x, int y")
+        assert isinstance(body.statements[0], AssignStmt)
+        assert isinstance(body.statements[1], ExprStmt)
+
+    def test_field_assignment_target(self):
+        stmt = parse_method_body("this.f = 1;").statements[0]
+        assert isinstance(stmt, AssignStmt)
+        assert isinstance(stmt.target, FieldAccessExpr)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(MjParseError):
+            parse_method_body("f() = 1;")
+
+    def test_if_else_and_while(self):
+        body = parse_method_body(
+            "if (a) { f(); } else g(); while (b) { h(); }", params="boolean a, boolean b"
+        )
+        assert isinstance(body.statements[0], IfStmt)
+        assert body.statements[0].else_branch is not None
+        assert isinstance(body.statements[1], WhileStmt)
+
+    def test_return_forms(self):
+        body = parse_method_body("return;")
+        assert isinstance(body.statements[0], ReturnStmt)
+        assert body.statements[0].value is None
+        body = parse_method_body("return x;", params="int x")
+        assert body.statements[0].value is not None
+
+
+class TestExpressions:
+    def test_call_chain(self):
+        expr = parse_expr("a.b().c()", params="Foo a")
+        assert isinstance(expr, CallExpr)
+        assert expr.name == "c"
+        assert isinstance(expr.receiver, CallExpr)
+
+    def test_field_access_chain(self):
+        expr = parse_expr("a.b.c", params="Foo a")
+        assert isinstance(expr, FieldAccessExpr)
+        assert expr.name == "c"
+
+    def test_new_with_args(self):
+        expr = parse_expr('new p.Foo(x, "s")', params="int x")
+        assert isinstance(expr, NewExpr)
+        assert expr.type_ref.name == "p.Foo"
+        assert isinstance(expr.args[1], StringLit)
+
+    def test_cast_expression(self):
+        expr = parse_expr("(p.Foo) x", params="Object x")
+        assert isinstance(expr, CastExpr)
+        assert expr.type_ref.name == "p.Foo"
+
+    def test_cast_then_member_access(self):
+        expr = parse_expr("((Foo) x).bar()", params="Object x")
+        assert isinstance(expr, CallExpr)
+        assert isinstance(expr.receiver, CastExpr)
+
+    def test_parenthesized_expression_is_not_cast(self):
+        expr = parse_expr("(x)", params="int x")
+        assert isinstance(expr, VarRef)
+
+    def test_unqualified_call_has_no_receiver(self):
+        expr = parse_expr("helper(x)", params="int x")
+        assert isinstance(expr, CallExpr)
+        assert expr.receiver is None
+
+    def test_this(self):
+        expr = parse_expr("this.run()")
+        assert isinstance(expr.receiver, ThisExpr)
+
+    def test_binary_precedence(self):
+        expr = parse_expr("a + b * c == d && e", params="int a, int b, int c, int d, boolean e")
+        # top node is &&
+        assert isinstance(expr, BinaryExpr) and expr.op == "&&"
+        eq = expr.left
+        assert eq.op == "=="
+        plus = eq.left
+        assert plus.op == "+"
+        assert plus.right.op == "*"
+
+    def test_unary_not(self):
+        expr = parse_expr("!a", params="boolean a")
+        assert expr.op == "!"
+
+    def test_cast_of_call(self):
+        expr = parse_expr("(Foo) f()", params="")
+        assert isinstance(expr, CastExpr)
+        assert isinstance(expr.operand, CallExpr)

@@ -1,0 +1,175 @@
+"""Tests for the mini-Java type checker."""
+
+import pytest
+
+from repro.apispec import load_api_text
+from repro.minijava import MjTypeError, check_program, parse_minijava, resolve_program
+
+API = """
+package java.lang;
+public class String {}
+
+package lib;
+public interface IThing {}
+public class Base {}
+public class Sub extends Base {}
+public class Unrelated {}
+public class Maker {
+  public Maker();
+  public Base base();
+  public Sub sub();
+  public boolean flag();
+  public int count();
+}
+"""
+
+
+def check(source):
+    registry = load_api_text(API)
+    unit = parse_minijava(source, "test.mj")
+    resolve_program(registry, [unit])
+    return check_program(registry, [unit])
+
+
+def issues_of(source):
+    return [str(i) for i in check(source).issues]
+
+
+class TestAssignability:
+    def test_clean_program(self):
+        report = check(
+            """
+            package c;
+            import lib.Maker;
+            import lib.Base;
+            class K {
+              Base get(Maker m) {
+                Base b = m.sub();
+                return b;
+              }
+            }
+            """
+        )
+        assert report.ok
+        report.raise_if_failed()  # no-op when ok
+
+    def test_bad_initializer(self):
+        issues = issues_of(
+            """
+            package c;
+            import lib.Maker;
+            import lib.Sub;
+            class K {
+              void f(Maker m) { Sub s = m.base(); }
+            }
+            """
+        )
+        assert any("cannot assign" in i for i in issues)
+
+    def test_bad_assignment(self):
+        issues = issues_of(
+            """
+            package c;
+            import lib.Maker;
+            import lib.Sub;
+            class K {
+              void f(Maker m, Sub s) { s = m.base(); }
+            }
+            """
+        )
+        assert any("cannot assign" in i for i in issues)
+
+    def test_null_to_reference_ok(self):
+        assert check(
+            "package c; import lib.Sub; class K { void f() { Sub s = null; } }"
+        ).ok
+
+    def test_null_to_primitive_rejected(self):
+        issues = issues_of("package c; class K { void f() { int x = null; } }")
+        assert any("null" in i for i in issues)
+
+
+class TestReturns:
+    def test_return_subtype_ok(self):
+        assert check(
+            """
+            package c;
+            import lib.Maker;
+            import lib.Base;
+            class K { Base f(Maker m) { return m.sub(); } }
+            """
+        ).ok
+
+    def test_return_wrong_type(self):
+        issues = issues_of(
+            """
+            package c;
+            import lib.Maker;
+            import lib.Sub;
+            class K { Sub f(Maker m) { return m.base(); } }
+            """
+        )
+        assert issues
+
+    def test_missing_return_value(self):
+        issues = issues_of(
+            "package c; import lib.Sub; class K { Sub f() { return; } }"
+        )
+        assert any("missing return" in i for i in issues)
+
+    def test_void_returning_value(self):
+        issues = issues_of(
+            "package c; import lib.Maker; class K { void f(Maker m) { return m.base(); } }"
+        )
+        assert any("void method" in i for i in issues)
+
+
+class TestConditionsAndCasts:
+    def test_non_boolean_condition(self):
+        issues = issues_of(
+            "package c; import lib.Maker; class K { void f(Maker m) { if (m.count()) { } } }"
+        )
+        assert any("boolean" in i for i in issues)
+
+    def test_boolean_condition_ok(self):
+        assert check(
+            "package c; import lib.Maker; class K { void f(Maker m) { while (m.flag()) { } } }"
+        ).ok
+
+    def test_downcast_ok(self):
+        assert check(
+            """
+            package c;
+            import lib.Base;
+            import lib.Sub;
+            class K { Sub f(Base b) { return (Sub) b; } }
+            """
+        ).ok
+
+    def test_unrelated_cast_flagged(self):
+        issues = issues_of(
+            """
+            package c;
+            import lib.Sub;
+            import lib.Unrelated;
+            class K { Unrelated f(Sub s) { return (Unrelated) s; } }
+            """
+        )
+        assert any("unrelated" in i for i in issues)
+
+    def test_interface_cast_allowed(self):
+        assert check(
+            """
+            package c;
+            import lib.Sub;
+            import lib.IThing;
+            class K { IThing f(Sub s) { return (IThing) s; } }
+            """
+        ).ok
+
+    def test_raise_if_failed(self):
+        report = check(
+            "package c; class K { void f() { int x = null; } }"
+        )
+        with pytest.raises(MjTypeError):
+            report.raise_if_failed()

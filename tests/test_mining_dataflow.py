@@ -1,0 +1,112 @@
+"""Tests for the flow-insensitive assignment map and widening chains."""
+
+from repro.apispec import load_api_text
+from repro.minijava import parse_minijava, resolve_program
+from repro.mining import build_assignment_map, widening_chain
+from repro.typesystem import TypeKind, TypeRegistry, named
+
+API = """
+package java.lang;
+public class String {}
+package f;
+public class Box {
+  public Box();
+  public String value();
+}
+"""
+
+
+def resolved_method(source):
+    registry = load_api_text(API)
+    unit = parse_minijava(source, "t.mj")
+    resolve_program(registry, [unit])
+    return unit.classes[0].methods[0]
+
+
+class TestAssignmentMap:
+    def test_decl_initializers_collected(self):
+        m = resolved_method(
+            """
+            package c; import f.Box;
+            class K { void f() { Box b = new Box(); } }
+            """
+        )
+        amap = build_assignment_map(m)
+        assert len(amap.sources_of("b")) == 1
+
+    def test_reassignments_collected_flow_insensitively(self):
+        m = resolved_method(
+            """
+            package c; import f.Box;
+            class K {
+              void f(boolean flag) {
+                Box b = new Box();
+                if (flag) { b = new Box(); }
+                b = new Box();
+              }
+            }
+            """
+        )
+        amap = build_assignment_map(m)
+        assert len(amap.sources_of("b")) == 3
+
+    def test_parameter_assignment_collected(self):
+        m = resolved_method(
+            """
+            package c; import f.Box;
+            class K { void f(Box b) { b = new Box(); } }
+            """
+        )
+        assert len(build_assignment_map(m).sources_of("b")) == 1
+
+    def test_unknown_variable_empty(self):
+        m = resolved_method("package c; class K { void f() { } }")
+        assert build_assignment_map(m).sources_of("ghost") == ()
+
+    def test_abstract_method_empty(self):
+        registry = load_api_text(API)
+        unit = parse_minijava(
+            "package c; interface I { void f(); }", "t.mj"
+        )
+        resolve_program(registry, [unit])
+        amap = build_assignment_map(unit.classes[0].methods[0])
+        assert not amap.by_variable
+
+
+class TestWideningChain:
+    def _registry(self):
+        r = TypeRegistry()
+        r.declare("h.A")
+        r.declare("h.B", superclass="h.A")
+        r.declare("h.C", superclass="h.B")
+        r.declare("h.I", kind=TypeKind.INTERFACE)
+        r.declare("h.D", superclass="h.B", interfaces=["h.I"])
+        return r
+
+    def test_equal_types_empty_chain(self):
+        r = self._registry()
+        assert widening_chain(r, named("h.B"), named("h.B")) == ()
+
+    def test_single_step(self):
+        r = self._registry()
+        chain = widening_chain(r, named("h.B"), named("h.A"))
+        assert len(chain) == 1
+        assert chain[0].is_widening
+
+    def test_multi_step_chain_composes(self):
+        r = self._registry()
+        chain = widening_chain(r, named("h.C"), r.object_type)
+        assert [str(s.input_type) for s in chain] == ["h.C", "h.B", "h.A"]
+        # Adjacent steps compose exactly.
+        for a, b in zip(chain, chain[1:]):
+            assert a.output_type == b.input_type
+
+    def test_interface_target(self):
+        r = self._registry()
+        chain = widening_chain(r, named("h.D"), named("h.I"))
+        assert chain is not None
+        assert chain[-1].output_type == named("h.I")
+
+    def test_unrelated_returns_none(self):
+        r = self._registry()
+        assert widening_chain(r, named("h.A"), named("h.C")) is None

@@ -1,0 +1,273 @@
+"""Tests for example-jungloid extraction (the backward slice)."""
+
+import pytest
+
+from repro.apispec import load_api_text
+from repro.corpus import load_corpus_texts
+from repro.eval import chain_signature
+from repro.mining import ExtractionConfig, extract_examples
+
+API = """
+package java.lang;
+public class String {}
+
+package m;
+public class Panel {
+  public Panel();
+  public Viewer getViewer();
+  public Widget widget;
+  public static Panel getDefault();
+}
+public class Viewer {
+  public Object getSelection();
+}
+public class Widget {}
+public class Item extends Widget {
+  public Item(Panel parent);
+}
+public class Selection {
+  public Object getFirstElement();
+}
+public class Registry {
+  public Object lookup(String key);
+}
+"""
+
+
+def mine(corpus_source, config=ExtractionConfig()):
+    registry = load_api_text(API)
+    corpus = load_corpus_texts(registry, [("t.mj", corpus_source)])
+    return extract_examples(
+        corpus.registry, corpus.units, corpus.corpus_types, config=config
+    )
+
+
+class TestBasicExtraction:
+    def test_simple_chain(self):
+        examples = mine(
+            """
+            package c; import m.Panel; import m.Viewer; import m.Selection;
+            class K {
+              Selection sel(Panel p) {
+                Viewer v = p.getViewer();
+                Object o = v.getSelection();
+                return (Selection) o;
+              }
+            }
+            """
+        )
+        chains = {chain_signature(e.jungloid) for e in examples}
+        assert ("Panel.getViewer", "Viewer.getSelection", "cast Selection") in chains
+
+    def test_no_downcasts_no_examples(self):
+        examples = mine(
+            """
+            package c; import m.Panel; import m.Viewer;
+            class K { Viewer v(Panel p) { return p.getViewer(); } }
+            """
+        )
+        assert examples == []
+
+    def test_widening_cast_is_not_mined(self):
+        examples = mine(
+            """
+            package c; import m.Item; import m.Widget;
+            class K { Widget w(Item i) { return (Widget) i; } }
+            """
+        )
+        assert examples == []
+
+    def test_field_access_step(self):
+        examples = mine(
+            """
+            package c; import m.Panel; import m.Item;
+            class K {
+              Item item(Panel p) { return (Item) p.widget; }
+            }
+            """
+        )
+        chains = {chain_signature(e.jungloid) for e in examples}
+        assert ("Panel.widget", "cast Item") in chains
+
+    def test_constructor_is_elementary_even_in_client(self):
+        examples = mine(
+            """
+            package c; import m.Panel; import m.Viewer; import m.Selection;
+            class K {
+              Selection sel() {
+                Panel p = new Panel();
+                Object o = p.getViewer().getSelection();
+                return (Selection) o;
+              }
+            }
+            """
+        )
+        chains = {chain_signature(e.jungloid) for e in examples}
+        assert ("new Panel", "Panel.getViewer", "Viewer.getSelection", "cast Selection") in chains
+
+    def test_static_call_terminal(self):
+        examples = mine(
+            """
+            package c; import m.Panel; import m.Viewer; import m.Selection;
+            class K {
+              Selection sel() {
+                Object o = Panel.getDefault().getViewer().getSelection();
+                return (Selection) o;
+              }
+            }
+            """
+        )
+        chains = {chain_signature(e.jungloid) for e in examples}
+        assert (
+            "Panel.getDefault",
+            "Panel.getViewer",
+            "Viewer.getSelection",
+            "cast Selection",
+        ) in chains
+
+    def test_provenance_recorded(self):
+        examples = mine(
+            """
+            package c; import m.Panel; import m.Item;
+            class K { Item item(Panel p) { return (Item) p.widget; } }
+            """
+        )
+        e = examples[0]
+        assert e.source == "t.mj"
+        assert e.method_name == "item"
+        assert e.cast_position.line > 0
+
+
+class TestFlowInsensitivity:
+    def test_multiple_assignments_branch(self):
+        examples = mine(
+            """
+            package c; import m.Panel; import m.Viewer; import m.Selection;
+            class K {
+              Selection sel(Panel a, boolean flag) {
+                Viewer v = a.getViewer();
+                if (flag) { v = Panel.getDefault().getViewer(); }
+                return (Selection) v.getSelection();
+              }
+            }
+            """
+        )
+        # Both assignments reach the cast, via structurally different
+        # chains, so two distinct examples are extracted.
+        chains = {chain_signature(e.jungloid) for e in examples}
+        assert ("Panel.getViewer", "Viewer.getSelection", "cast Selection") in chains
+        assert (
+            "Panel.getDefault",
+            "Panel.getViewer",
+            "Viewer.getSelection",
+            "cast Selection",
+        ) in chains
+
+    def test_identical_chains_deduplicated(self):
+        examples = mine(
+            """
+            package c; import m.Panel; import m.Viewer; import m.Selection;
+            class K {
+              Selection sel(Panel a, Panel b, boolean flag) {
+                Viewer v = a.getViewer();
+                if (flag) { v = b.getViewer(); }
+                return (Selection) v.getSelection();
+              }
+            }
+            """
+        )
+        # a.getViewer() and b.getViewer() induce the SAME elementary
+        # chain, so only one example survives deduplication.
+        assert len(examples) == 1
+
+
+class TestInterprocedural:
+    def test_client_method_inlined(self):
+        examples = mine(
+            """
+            package c; import m.Panel; import m.Viewer; import m.Selection;
+            class K {
+              Viewer grab(Panel p) { return p.getViewer(); }
+              Selection sel(Panel p) {
+                Object o = grab(p).getSelection();
+                return (Selection) o;
+              }
+            }
+            """
+        )
+        chains = {chain_signature(e.jungloid) for e in examples}
+        # grab() is inlined: the example shows the API calls only.
+        assert ("Panel.getViewer", "Viewer.getSelection", "cast Selection") in chains
+
+    def test_parameter_jumps_to_callers(self):
+        examples = mine(
+            """
+            package c; import m.Panel; import m.Viewer; import m.Selection;
+            class K {
+              Selection sel(Object o) { return (Selection) o; }
+              Selection use(Panel p) {
+                return sel(p.getViewer().getSelection());
+              }
+            }
+            """,
+            # Allow the bare (Selection) o example too.
+            ExtractionConfig(min_example_steps=1),
+        )
+        chains = {chain_signature(e.jungloid) for e in examples}
+        assert ("Panel.getViewer", "Viewer.getSelection", "cast Selection") in chains
+
+    def test_recursion_terminates(self):
+        examples = mine(
+            """
+            package c; import m.Selection;
+            class K {
+              Object echo(Object o) { return echo(o); }
+              Selection sel(Object o) { return (Selection) echo(o); }
+            }
+            """
+        )
+        # No crash; recursion cannot produce a grounded chain.
+        assert isinstance(examples, list)
+
+
+class TestBudgets:
+    def test_max_examples_per_cast(self):
+        source = """
+            package c; import m.Panel; import m.Viewer; import m.Selection;
+            class K {
+              Selection sel(Panel a) {
+                Viewer v = a.getViewer();
+                v = new Panel().getViewer();
+                v = Panel.getDefault().getViewer();
+                return (Selection) v.getSelection();
+              }
+            }
+            """
+        capped = mine(source, ExtractionConfig(max_examples_per_cast=2))
+        uncapped = mine(source)
+        assert len(capped) == 2
+        assert len(uncapped) == 3
+
+    def test_max_steps_limits_chain_length(self):
+        examples = mine(
+            """
+            package c; import m.Panel; import m.Viewer; import m.Selection;
+            class K {
+              Selection sel() {
+                Object o = new Panel().getViewer().getSelection();
+                return (Selection) o;
+              }
+            }
+            """,
+            ExtractionConfig(max_steps=2),
+        )
+        assert all(len(e.jungloid) <= 4 for e in examples)
+
+    def test_min_example_steps_drops_bare_casts(self):
+        source = """
+            package c; import m.Selection;
+            class K { Selection sel(Object o) { return (Selection) o; } }
+            """
+        assert mine(source) == []
+        allowed = mine(source, ExtractionConfig(min_example_steps=1))
+        assert len(allowed) == 1

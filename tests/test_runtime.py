@@ -1,0 +1,182 @@
+"""Tests for the mock runtime (jungloid interpreter + behavior models)."""
+
+import pytest
+
+from repro.apispec import load_api_text
+from repro.jungloids import (
+    Jungloid,
+    constructor_call,
+    downcast,
+    field_access,
+    instance_call,
+    static_call,
+    widening,
+)
+from repro.runtime import (
+    BehaviorModel,
+    Outcome,
+    Runtime,
+    SimObject,
+    classify_results,
+)
+from repro.typesystem import named
+
+API = """
+package java.lang;
+public class String {}
+package r;
+public class Holder {
+  public Holder();
+  public Object getItem();
+  public Thing field;
+  public static Holder getDefault();
+}
+public class Thing {
+  public Thing();
+  public Object payload();
+}
+public class SubThing extends Thing {
+  public SubThing();
+}
+"""
+
+
+@pytest.fixture()
+def registry():
+    return load_api_text(API)
+
+
+@pytest.fixture()
+def model(registry):
+    return BehaviorModel(registry)
+
+
+@pytest.fixture()
+def runtime(model):
+    return Runtime(model)
+
+
+def call(registry, owner, name):
+    m = registry.find_method(registry.lookup(owner), name)[0]
+    return (static_call if m.static else instance_call)(m)[0]
+
+
+class TestDefaults:
+    def test_constructor_produces_its_type(self, registry, runtime):
+        j = Jungloid.of(constructor_call(registry.constructors_of(registry.lookup("r.Thing"))[0])[0])
+        result = runtime.execute(j)
+        assert result.viable
+        assert result.value.dynamic_type == named("r.Thing")
+
+    def test_default_result_is_declared_type(self, registry, runtime):
+        j = Jungloid.of(call(registry, "r.Holder", "getDefault"))
+        result = runtime.execute(j)
+        assert result.value.dynamic_type == named("r.Holder")
+
+    def test_object_returning_default_defeats_casts(self, registry, runtime):
+        j = Jungloid.of(
+            call(registry, "r.Holder", "getItem"),
+            downcast(registry.object_type, named("r.Thing")),
+        )
+        result = runtime.execute(j)
+        assert result.outcome is Outcome.CLASS_CAST
+        assert result.failed_step == 1
+
+    def test_widening_preserves_object(self, registry, runtime):
+        j = Jungloid.of(
+            constructor_call(registry.constructors_of(registry.lookup("r.SubThing"))[0])[0],
+            widening(named("r.SubThing"), named("r.Thing")),
+        )
+        result = runtime.execute(j)
+        assert result.viable
+        assert result.value.dynamic_type == named("r.SubThing")
+
+    def test_field_access(self, registry, runtime):
+        f = registry.find_field(registry.lookup("r.Holder"), "field")
+        j = Jungloid.of(field_access(f))
+        assert runtime.execute(j).value.dynamic_type == named("r.Thing")
+
+
+class TestRules:
+    def test_returns_type_rule(self, registry, model, runtime):
+        model.returns_type("r.Holder", "getItem", "r.SubThing")
+        j = Jungloid.of(
+            call(registry, "r.Holder", "getItem"),
+            downcast(registry.object_type, named("r.Thing")),
+        )
+        result = runtime.execute(j)
+        assert result.viable  # SubThing is a Thing
+        assert result.value.dynamic_type == named("r.SubThing")
+
+    def test_returns_null_rule(self, registry, model, runtime):
+        model.returns_null("r.Holder", "getItem")
+        j = Jungloid.of(call(registry, "r.Holder", "getItem"))
+        assert runtime.execute(j).outcome is Outcome.NULL
+
+    def test_cast_of_null_is_legal_but_null(self, registry, model, runtime):
+        model.returns_null("r.Holder", "getItem")
+        j = Jungloid.of(
+            call(registry, "r.Holder", "getItem"),
+            downcast(registry.object_type, named("r.Thing")),
+        )
+        assert runtime.execute(j).outcome is Outcome.NULL
+
+    def test_call_on_null_raises_npe(self, registry, model, runtime):
+        model.returns_null("r.Holder", "getItem")
+        obj_payload = instance_call(
+            registry.find_method(registry.lookup("r.Thing"), "payload")[0]
+        )[0]
+        j = Jungloid.of(
+            call(registry, "r.Holder", "getItem"),
+            downcast(registry.object_type, named("r.Thing")),
+            obj_payload,
+        )
+        result = runtime.execute(j)
+        assert result.outcome is Outcome.NULL_POINTER
+        assert result.failed_step == 2
+
+    def test_rule_inherited_from_supertype_owner(self, registry, model, runtime):
+        model.returns_type("r.Thing", "payload", "r.SubThing")
+        m = registry.find_method(registry.lookup("r.SubThing"), "payload")[0]
+        j = Jungloid.of(instance_call(m)[0])
+        seed = runtime.new_object(named("r.SubThing"))
+        assert runtime.execute(j, seed).value.dynamic_type == named("r.SubThing")
+
+    def test_attr_dependent_rule(self, registry, model, runtime):
+        model.returns_attr_type("r.Holder", "getItem", "item_type")
+        seed = SimObject(named("r.Holder"), {"item_type": "r.SubThing"})
+        j = Jungloid.of(call(registry, "r.Holder", "getItem"))
+        assert runtime.execute(j, seed).value.dynamic_type == named("r.SubThing")
+
+    def test_attr_rule_default(self, registry, model, runtime):
+        model.returns_attr_type("r.Holder", "getItem", "item_type", default="r.Thing")
+        j = Jungloid.of(call(registry, "r.Holder", "getItem"))
+        assert runtime.execute(j).value.dynamic_type == named("r.Thing")
+
+    def test_seed_attrs(self, registry, model, runtime):
+        model.returns_attr_type("r.Holder", "getItem", "item_type")
+        model.seeds("r.Holder", item_type="r.SubThing")
+        j = Jungloid.of(call(registry, "r.Holder", "getItem"))
+        assert runtime.execute(j).value.dynamic_type == named("r.SubThing")
+
+
+class TestSeeding:
+    def test_seed_concrete(self, registry, runtime):
+        assert runtime.seed(named("r.Thing")).dynamic_type == named("r.Thing")
+
+    def test_seed_interface_picks_concrete_subtype(self):
+        registry = load_api_text(
+            "package java.lang; public class String {}"
+            "package s; public interface I {} public class C implements I { public C(); }"
+        )
+        runtime = Runtime(BehaviorModel(registry))
+        assert runtime.seed(registry.lookup("s.I")).dynamic_type == named("s.C")
+
+    def test_classify_results(self, registry, model, runtime):
+        model.returns_null("r.Holder", "getItem")
+        jungloids = [
+            Jungloid.of(call(registry, "r.Holder", "getDefault")),
+            Jungloid.of(call(registry, "r.Holder", "getItem")),
+        ]
+        counts = classify_results(runtime, jungloids)
+        assert counts == {Outcome.VIABLE: 1, Outcome.NULL: 1}

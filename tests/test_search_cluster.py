@@ -1,0 +1,99 @@
+"""Tests for result clustering (the paper's future-work fix)."""
+
+from repro.apispec import load_api_text
+from repro.jungloids import Jungloid, instance_call, widening
+from repro.search import cluster_results, representatives, type_chain
+from repro.typesystem import named
+
+API = """
+package java.lang;
+public class String {}
+package c;
+public class Root {
+  public Node alpha();
+  public Node beta();
+  public Node gamma();
+  public Other other();
+}
+public class Node {
+  public Leaf leaf();
+}
+public class Other {
+  public Leaf leaf2();
+}
+public class Leaf {}
+public class SubRoot extends Root {}
+"""
+
+
+def registry():
+    return load_api_text(API)
+
+
+def chain(r, *names):
+    steps = []
+    owner = "c.Root"
+    mapping = {
+        "alpha": ("c.Root", "c.Node"),
+        "beta": ("c.Root", "c.Node"),
+        "gamma": ("c.Root", "c.Node"),
+        "other": ("c.Root", "c.Other"),
+        "leaf": ("c.Node", "c.Leaf"),
+        "leaf2": ("c.Other", "c.Leaf"),
+    }
+    for name in names:
+        owner_name, _ = mapping[name]
+        m = r.find_method(r.lookup(owner_name), name)[0]
+        steps.append(instance_call(m)[0])
+    return Jungloid.from_iterable(steps)
+
+
+class TestTypeChain:
+    def test_collapses_widening(self):
+        r = registry()
+        j = chain(r, "alpha", "leaf")
+        widened = Jungloid.of(widening(named("c.SubRoot"), named("c.Root")), *j.steps)
+        assert type_chain(widened)[1:] == type_chain(j)[1:]
+
+    def test_chain_contents(self):
+        r = registry()
+        assert [str(t) for t in type_chain(chain(r, "alpha", "leaf"))] == [
+            "c.Root",
+            "c.Node",
+            "c.Leaf",
+        ]
+
+
+class TestClustering:
+    def test_parallel_paths_group(self):
+        r = registry()
+        ranked = [
+            chain(r, "alpha", "leaf"),
+            chain(r, "beta", "leaf"),
+            chain(r, "other", "leaf2"),
+            chain(r, "gamma", "leaf"),
+        ]
+        clusters = cluster_results(ranked)
+        assert len(clusters) == 2
+        assert len(clusters[0]) == 3  # the Node family, in rank order
+        assert clusters[0].representative is ranked[0]
+
+    def test_cluster_order_preserves_ranking(self):
+        r = registry()
+        ranked = [chain(r, "other", "leaf2"), chain(r, "alpha", "leaf")]
+        clusters = cluster_results(ranked)
+        assert clusters[0].representative is ranked[0]
+
+    def test_representatives(self):
+        r = registry()
+        ranked = [
+            chain(r, "alpha", "leaf"),
+            chain(r, "beta", "leaf"),
+            chain(r, "other", "leaf2"),
+        ]
+        reps = representatives(ranked)
+        assert reps == [ranked[0], ranked[2]]
+
+    def test_empty_input(self):
+        assert cluster_results([]) == []
+        assert representatives([]) == []

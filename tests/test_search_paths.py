@@ -1,0 +1,107 @@
+"""Tests for bounded path enumeration and weighted distances."""
+
+from repro.apispec import load_api_text
+from repro.graph import SignatureGraph
+from repro.search import UNREACHABLE, count_paths, distances_to, enumerate_paths, shortest_length
+from repro.typesystem import named
+
+API = """
+package java.lang;
+public class String {}
+package w;
+public class A {
+  public B toB();
+  public C toC();
+}
+public class B extends A {
+  public C toCviaB();
+}
+public class C {
+  public D toD();
+}
+public class D {}
+public class E {
+  public E(F f);
+}
+public class F {}
+"""
+
+
+def build():
+    registry = load_api_text(API)
+    return registry, SignatureGraph.from_registry(registry)
+
+
+class TestDistances:
+    def test_distance_to_self(self):
+        registry, graph = build()
+        d = distances_to(graph, named("w.D"))
+        assert d[named("w.D")] == 0
+
+    def test_distances_count_calls(self):
+        registry, graph = build()
+        d = distances_to(graph, named("w.D"))
+        assert d[named("w.C")] == 1
+        assert d[named("w.A")] == 2
+
+    def test_widening_is_free(self):
+        registry, graph = build()
+        d = distances_to(graph, named("w.A"))
+        # B widens to A at no cost.
+        assert d[named("w.B")] == 0
+
+    def test_unreachable(self):
+        registry, graph = build()
+        assert shortest_length(graph, named("w.F"), named("w.D")) == UNREACHABLE
+
+    def test_custom_edge_cost(self):
+        registry, graph = build()
+        d = distances_to(graph, named("w.D"), edge_cost=lambda e: 0 if e.is_widening else 3)
+        assert d[named("w.C")] == 3
+
+
+class TestEnumeration:
+    def test_all_paths_within_bound(self):
+        registry, graph = build()
+        paths = list(enumerate_paths(graph, named("w.A"), named("w.C"), max_cost=2))
+        renderings = {
+            SignatureGraph.path_to_jungloid(p).render_expression("x") for p in paths
+        }
+        assert renderings == {"x.toC()", "x.toB().toCviaB()"}
+
+    def test_bound_excludes_longer(self):
+        registry, graph = build()
+        paths = list(enumerate_paths(graph, named("w.A"), named("w.C"), max_cost=1))
+        assert len(paths) == 1
+
+    def test_paths_are_acyclic(self):
+        registry, graph = build()
+        for path in enumerate_paths(graph, named("w.A"), named("w.D"), max_cost=5):
+            nodes = [path[0].source] + [e.target for e in path]
+            assert len(nodes) == len(set(nodes))
+
+    def test_max_paths_cap(self):
+        registry, graph = build()
+        paths = list(
+            enumerate_paths(graph, named("w.A"), named("w.C"), max_cost=3, max_paths=1)
+        )
+        assert len(paths) == 1
+
+    def test_no_paths_when_unreachable(self):
+        registry, graph = build()
+        assert not list(enumerate_paths(graph, named("w.F"), named("w.D"), max_cost=9))
+
+    def test_missing_nodes_handled(self):
+        registry, graph = build()
+        assert not list(
+            enumerate_paths(graph, named("x.Ghost"), named("w.D"), max_cost=3)
+        )
+
+    def test_count_paths(self):
+        registry, graph = build()
+        assert count_paths(graph, named("w.A"), named("w.C"), max_cost=2) == 2
+
+    def test_paths_end_exactly_at_target(self):
+        registry, graph = build()
+        for path in enumerate_paths(graph, named("w.A"), named("w.D"), max_cost=4):
+            assert path[-1].target == named("w.D")

@@ -1,0 +1,125 @@
+"""Tests for the ranking heuristic (Section 3.2)."""
+
+from repro.apispec import load_api_text
+from repro.jungloids import Jungloid, instance_call, static_call, widening
+from repro.search import RankKey, package_crossings, rank, rank_key, true_output_type
+from repro.typesystem import Method, Parameter, named
+
+API = """
+package java.lang;
+public class String {}
+package near;
+public class Input {
+  public Out direct();
+  public far.away.Helper detour();
+}
+public class Out {}
+public class SubOut extends Out {
+  public SubOut();
+}
+public class Wrap {
+  public Out viaWrap(Input i);
+}
+package far.away;
+public class Helper {
+  public near.Out back();
+}
+"""
+
+
+def registry():
+    return load_api_text(API)
+
+
+def call(r, owner, name):
+    m = r.find_method(r.lookup(owner), name)[0]
+    return instance_call(m)[0]
+
+
+class TestPackageCrossings:
+    def test_same_package_chain_is_zero(self):
+        r = registry()
+        j = Jungloid.of(call(r, "near.Input", "direct"))
+        assert package_crossings(j) == 0
+
+    def test_detour_counts_both_ways(self):
+        r = registry()
+        j = Jungloid.of(call(r, "near.Input", "detour"), call(r, "far.away.Helper", "back"))
+        # near -> far.away (3) then far.away -> near (3).
+        assert package_crossings(j) == 6
+
+    def test_widening_steps_do_not_count(self):
+        r = registry()
+        j = Jungloid.of(
+            call(r, "near.Input", "direct"),
+            widening(named("near.Out"), r.object_type),
+        )
+        assert package_crossings(j) == package_crossings(Jungloid.of(j.steps[0]))
+
+
+class TestTrueOutputType:
+    def test_looks_through_trailing_widening(self):
+        r = registry()
+        sub_ctor = None
+        from repro.jungloids import constructor_call
+
+        sub_ctor = constructor_call(r.constructors_of(r.lookup("near.SubOut"))[0])[0]
+        j = Jungloid.of(sub_ctor, widening(named("near.SubOut"), named("near.Out")))
+        assert true_output_type(j) == named("near.SubOut")
+        assert j.output_type == named("near.Out")
+
+
+class TestRanking:
+    def test_rank_orders_by_cost_first(self):
+        r = registry()
+        short = Jungloid.of(call(r, "near.Input", "direct"))
+        long = Jungloid.of(
+            call(r, "near.Input", "detour"), call(r, "far.away.Helper", "back")
+        )
+        assert rank(r, [long, short]) == [short, long]
+
+    def test_crossings_break_cost_ties(self):
+        r = registry()
+        local = Jungloid.of(call(r, "near.Input", "direct"))
+        # viaWrap also costs 3 (1 step + free Wrap receiver 2)... build a
+        # genuine cost tie instead: two one-step chains, one crossing.
+        detour_only = Jungloid.of(call(r, "near.Input", "detour"))
+        assert rank_key(r, local).cost == rank_key(r, detour_only).cost
+        assert rank(r, [detour_only, local])[0] == local
+
+    def test_generality_breaks_remaining_ties(self):
+        r = registry()
+        from repro.jungloids import constructor_call
+
+        # Both produce an Out-typed value at cost 1, but one's declared
+        # output is the subclass SubOut (reached via widening): the paper
+        # ranks the more general declared output first.
+        general = Jungloid.of(call(r, "near.Input", "direct"))
+        sub = constructor_call(r.constructors_of(r.lookup("near.SubOut"))[0])[0]
+        specific = Jungloid.of(sub, widening(named("near.SubOut"), named("near.Out")))
+        key_general = rank_key(r, general)
+        key_specific = rank_key(r, specific)
+        assert key_general.cost == key_specific.cost
+        assert true_output_type(specific) == named("near.SubOut")
+        assert key_general.generality < key_specific.generality
+
+    def test_rank_key_is_total_order(self):
+        r = registry()
+        a = rank_key(r, Jungloid.of(call(r, "near.Input", "direct")))
+        b = rank_key(r, Jungloid.of(call(r, "near.Input", "detour")))
+        assert (a < b) != (b < a)
+
+    def test_rank_key_fields(self):
+        r = registry()
+        key = rank_key(r, Jungloid.of(call(r, "near.Input", "direct")))
+        assert isinstance(key, RankKey)
+        assert key.cost == 1
+        assert key.text == "x.direct()"
+
+    def test_rank_stable_and_deterministic(self):
+        r = registry()
+        items = [
+            Jungloid.of(call(r, "near.Input", "detour")),
+            Jungloid.of(call(r, "near.Input", "direct")),
+        ]
+        assert rank(r, items) == rank(r, list(reversed(items)))

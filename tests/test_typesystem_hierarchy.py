@@ -1,0 +1,93 @@
+"""Tests for derived hierarchy queries (LUB, assignability, generality)."""
+
+import pytest
+
+from repro.typesystem import (
+    PRIMITIVES,
+    TypeKind,
+    TypeRegistry,
+    VOID,
+    common_supertype,
+    generality_key,
+    is_assignable,
+    least_upper_bounds,
+    more_general,
+    named,
+    subtype_closure,
+    topological_types,
+)
+
+
+@pytest.fixture()
+def registry():
+    r = TypeRegistry()
+    r.declare("t.A")
+    r.declare("t.B", superclass="t.A")
+    r.declare("t.C", superclass="t.A")
+    r.declare("t.D", superclass="t.B")
+    r.declare("t.I", kind=TypeKind.INTERFACE)
+    r.declare("t.X", superclass="t.B", interfaces=["t.I"])
+    r.declare("t.Y", superclass="t.C", interfaces=["t.I"])
+    return r
+
+
+class TestLeastUpperBounds:
+    def test_related_types(self, registry):
+        assert least_upper_bounds(registry, named("t.D"), named("t.B")) == (named("t.B"),)
+
+    def test_siblings(self, registry):
+        assert least_upper_bounds(registry, named("t.B"), named("t.C")) == (named("t.A"),)
+
+    def test_interface_join_returns_all_minimal(self, registry):
+        lubs = least_upper_bounds(registry, named("t.X"), named("t.Y"))
+        assert set(lubs) == {named("t.A"), named("t.I")}
+        # Most specific first (deepest in the hierarchy).
+        assert registry.depth(lubs[0]) >= registry.depth(lubs[-1])
+
+    def test_common_supertype_fold(self, registry):
+        assert common_supertype(registry, [named("t.D"), named("t.B"), named("t.C")]) == named("t.A")
+        assert common_supertype(registry, []) is None
+
+
+class TestAssignability:
+    def test_identity(self, registry):
+        assert is_assignable(registry, named("t.B"), named("t.B"))
+
+    def test_widening(self, registry):
+        assert is_assignable(registry, named("t.D"), named("t.A"))
+        assert not is_assignable(registry, named("t.A"), named("t.D"))
+
+    def test_primitives_exact_only(self, registry):
+        assert is_assignable(registry, PRIMITIVES["int"], PRIMITIVES["int"])
+        assert not is_assignable(registry, PRIMITIVES["int"], PRIMITIVES["long"])
+        assert not is_assignable(registry, PRIMITIVES["int"], named("t.A"))
+
+    def test_void_never_assignable(self, registry):
+        assert not is_assignable(registry, VOID, named("t.A"))
+        assert not is_assignable(registry, named("t.A"), VOID)
+
+
+class TestGenerality:
+    def test_more_general(self, registry):
+        assert more_general(registry, named("t.A"), named("t.D"))
+        assert not more_general(registry, named("t.D"), named("t.A"))
+        assert not more_general(registry, named("t.A"), named("t.A"))
+
+    def test_generality_key_orders_by_depth(self, registry):
+        assert generality_key(registry, registry.object_type) == 0
+        assert generality_key(registry, named("t.A")) < generality_key(registry, named("t.D"))
+
+
+class TestTraversals:
+    def test_topological_supertypes_first(self, registry):
+        order = topological_types(registry)
+        index = {t: i for i, t in enumerate(order)}
+        assert index[named("t.A")] < index[named("t.B")] < index[named("t.D")]
+        assert index[registry.object_type] == 0
+
+    def test_topological_covers_all(self, registry):
+        assert len(topological_types(registry)) == len(registry)
+
+    def test_subtype_closure(self, registry):
+        closure = subtype_closure(registry, [named("t.B")])
+        assert set(closure) == {named("t.B"), named("t.D"), named("t.X")}

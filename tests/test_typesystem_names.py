@@ -1,0 +1,95 @@
+"""Tests for qualified names and package distance."""
+
+import pytest
+
+from repro.typesystem import (
+    InvalidNameError,
+    QualifiedName,
+    check_identifier,
+    is_identifier,
+    package_distance,
+)
+
+
+class TestIdentifiers:
+    def test_simple_identifiers(self):
+        assert is_identifier("foo")
+        assert is_identifier("Foo")
+        assert is_identifier("_x1")
+        assert is_identifier("$gen")
+
+    def test_invalid_identifiers(self):
+        assert not is_identifier("")
+        assert not is_identifier("1abc")
+        assert not is_identifier("a-b")
+        assert not is_identifier("a.b")
+
+    def test_check_identifier_returns_input(self):
+        assert check_identifier("ok") == "ok"
+
+    def test_check_identifier_raises(self):
+        with pytest.raises(InvalidNameError):
+            check_identifier("not ok")
+
+
+class TestQualifiedName:
+    def test_parse_dotted(self):
+        qn = QualifiedName.parse("java.io.File")
+        assert qn.package == "java.io"
+        assert qn.simple == "File"
+        assert qn.dotted == "java.io.File"
+
+    def test_parse_simple(self):
+        qn = QualifiedName.parse("File")
+        assert qn.package == ""
+        assert qn.dotted == "File"
+
+    def test_parse_empty_raises(self):
+        with pytest.raises(InvalidNameError):
+            QualifiedName.parse("")
+
+    def test_invalid_segment_raises(self):
+        with pytest.raises(InvalidNameError):
+            QualifiedName("java.2bad", "File")
+        with pytest.raises(InvalidNameError):
+            QualifiedName("java.io", "File!")
+
+    def test_package_parts(self):
+        assert QualifiedName.parse("a.b.C").package_parts() == ("a", "b")
+        assert QualifiedName.parse("C").package_parts() == ()
+
+    def test_equality_and_hash(self):
+        a = QualifiedName.parse("java.io.File")
+        b = QualifiedName("java.io", "File")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_ordering(self):
+        a = QualifiedName.parse("a.b.X")
+        b = QualifiedName.parse("a.c.A")
+        assert a < b
+
+    def test_str(self):
+        assert str(QualifiedName.parse("x.Y")) == "x.Y"
+
+
+class TestPackageDistance:
+    def test_identity(self):
+        assert package_distance("java.io", "java.io") == 0
+
+    def test_parent_child(self):
+        assert package_distance("java", "java.io") == 1
+        assert package_distance("java.io", "java") == 1
+
+    def test_siblings(self):
+        assert package_distance("java.io", "java.util") == 2
+
+    def test_disjoint_trees(self):
+        assert package_distance("java.io", "org.apache.lucene.demo.html") == 7
+
+    def test_default_package(self):
+        assert package_distance("", "") == 0
+        assert package_distance("", "java") == 1
+
+    def test_symmetry(self):
+        assert package_distance("a.b.c", "a.x") == package_distance("a.x", "a.b.c")

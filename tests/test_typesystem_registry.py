@@ -1,0 +1,199 @@
+"""Tests for the type registry: declarations, hierarchy, member lookup."""
+
+import pytest
+
+from repro.typesystem import (
+    Constructor,
+    DuplicateMemberError,
+    DuplicateTypeError,
+    Field,
+    HierarchyError,
+    Method,
+    Parameter,
+    PRIMITIVES,
+    TypeKind,
+    TypeRegistry,
+    UnknownTypeError,
+    Visibility,
+    named,
+)
+
+
+@pytest.fixture()
+def registry():
+    r = TypeRegistry()
+    r.declare("a.Base")
+    r.declare("a.Mid", superclass="a.Base")
+    r.declare("a.Leaf", superclass="a.Mid")
+    r.declare("a.ISel", kind=TypeKind.INTERFACE)
+    r.declare("a.IStructured", kind=TypeKind.INTERFACE, interfaces=["a.ISel"])
+    r.declare("b.Impl", superclass="a.Base", interfaces=["a.IStructured"])
+    return r
+
+
+class TestDeclarations:
+    def test_object_is_implicit(self):
+        r = TypeRegistry()
+        assert "java.lang.Object" in r
+        assert len(r) == 1
+
+    def test_declare_and_lookup(self, registry):
+        assert registry.lookup("a.Base") == named("a.Base")
+
+    def test_lookup_unknown_raises(self, registry):
+        with pytest.raises(UnknownTypeError):
+            registry.lookup("a.Nope")
+
+    def test_duplicate_type_rejected(self, registry):
+        with pytest.raises(DuplicateTypeError):
+            registry.declare("a.Base")
+
+    def test_interface_cannot_extend_class(self):
+        r = TypeRegistry()
+        r.declare("x.C")
+        with pytest.raises(HierarchyError):
+            r.declare("x.I", kind=TypeKind.INTERFACE, superclass="x.C")
+
+    def test_lookup_simple(self, registry):
+        assert registry.lookup_simple("Base") == [named("a.Base")]
+        assert registry.lookup_simple("Missing") == []
+
+    def test_contains(self, registry):
+        assert "a.Mid" in registry
+        assert "a.Nope" not in registry
+
+
+class TestHierarchy:
+    def test_default_superclass_is_object(self, registry):
+        assert registry.direct_supertypes(named("a.Base")) == (registry.object_type,)
+
+    def test_transitive_supertypes(self, registry):
+        supers = registry.all_supertypes(named("a.Leaf"))
+        assert named("a.Mid") in supers
+        assert named("a.Base") in supers
+        assert registry.object_type in supers
+
+    def test_interface_supertypes_include_object(self, registry):
+        supers = registry.all_supertypes(named("a.IStructured"))
+        assert named("a.ISel") in supers
+        assert registry.object_type in supers
+
+    def test_is_subtype_reflexive(self, registry):
+        assert registry.is_subtype(named("a.Mid"), named("a.Mid"))
+
+    def test_is_subtype_through_class_and_interface(self, registry):
+        impl = named("b.Impl")
+        assert registry.is_subtype(impl, named("a.Base"))
+        assert registry.is_subtype(impl, named("a.ISel"))
+        assert not registry.is_subtype(named("a.Base"), impl)
+
+    def test_everything_subtypes_object(self, registry):
+        assert registry.is_subtype(named("a.ISel"), registry.object_type)
+
+    def test_direct_and_all_subtypes(self, registry):
+        assert named("a.Mid") in registry.direct_subtypes(named("a.Base"))
+        all_subs = registry.all_subtypes(named("a.Base"))
+        assert named("a.Leaf") in all_subs
+        assert named("b.Impl") in all_subs
+
+    def test_depth(self, registry):
+        assert registry.depth(registry.object_type) == 0
+        assert registry.depth(named("a.Base")) == 1
+        assert registry.depth(named("a.Leaf")) == 3
+
+    def test_cycle_detection(self):
+        r = TypeRegistry()
+        r.declare("x.A", superclass="x.B")
+        r.declare("x.B", superclass="x.A")
+        with pytest.raises(HierarchyError):
+            r.all_supertypes(named("x.A"))
+
+    def test_widening_targets(self, registry):
+        targets = registry.widening_targets(named("b.Impl"))
+        assert named("a.Base") in targets
+        assert named("a.IStructured") in targets
+
+    def test_array_subtyping(self, registry):
+        from repro.typesystem import array_of
+
+        mid_arr = array_of(named("a.Mid"))
+        base_arr = array_of(named("a.Base"))
+        assert registry.is_subtype(mid_arr, base_arr)
+        assert registry.is_subtype(mid_arr, registry.object_type)
+        assert not registry.is_subtype(base_arr, mid_arr)
+
+
+class TestMembers:
+    @pytest.fixture()
+    def with_members(self, registry):
+        base = named("a.Base")
+        leaf = named("a.Leaf")
+        registry.add_method(Method(base, "getName", named("java.lang.Object")))
+        registry.add_method(
+            Method(leaf, "getName", named("java.lang.Object"))  # override
+        )
+        registry.add_method(
+            Method(base, "size", PRIMITIVES["int"], static=True)
+        )
+        registry.add_field(Field(base, "count", PRIMITIVES["int"]))
+        registry.add_constructor(Constructor(base))
+        return registry
+
+    def test_duplicate_method_rejected(self, with_members):
+        with pytest.raises(DuplicateMemberError):
+            with_members.add_method(
+                Method(named("a.Base"), "getName", named("java.lang.Object"))
+            )
+
+    def test_overload_allowed(self, with_members):
+        with_members.add_method(
+            Method(
+                named("a.Base"),
+                "getName",
+                named("java.lang.Object"),
+                (Parameter("i", PRIMITIVES["int"]),),
+            )
+        )
+        assert len(with_members.find_method(named("a.Base"), "getName")) == 2
+
+    def test_duplicate_field_rejected(self, with_members):
+        with pytest.raises(DuplicateMemberError):
+            with_members.add_field(Field(named("a.Base"), "count", PRIMITIVES["int"]))
+
+    def test_duplicate_constructor_rejected(self, with_members):
+        with pytest.raises(DuplicateMemberError):
+            with_members.add_constructor(Constructor(named("a.Base")))
+
+    def test_inherited_methods(self, with_members):
+        methods = with_members.all_methods(named("a.Mid"))
+        assert any(m.name == "getName" for m in methods)
+
+    def test_override_shadows(self, with_members):
+        methods = [m for m in with_members.all_methods(named("a.Leaf")) if m.name == "getName"]
+        assert len(methods) == 1
+        assert methods[0].owner == named("a.Leaf")
+
+    def test_inherited_fields(self, with_members):
+        assert with_members.find_field(named("a.Leaf"), "count") is not None
+
+    def test_find_method_by_arity(self, with_members):
+        assert with_members.find_method(named("a.Base"), "size", arity=0)
+        assert not with_members.find_method(named("a.Base"), "size", arity=2)
+
+    def test_stats(self, with_members):
+        stats = with_members.stats()
+        assert stats["types"] == 7  # 6 declared + Object
+        assert stats["interfaces"] == 2
+        assert stats["methods"] == 3
+        assert stats["fields"] == 1
+        assert stats["constructors"] == 1
+
+
+class TestVisibility:
+    def test_member_visibility_recorded(self):
+        r = TypeRegistry()
+        t = r.declare("v.T")
+        m = Method(t, "hidden", t, visibility=Visibility.PROTECTED)
+        r.add_method(m)
+        assert not m.is_public
+        assert m.visibility is Visibility.PROTECTED

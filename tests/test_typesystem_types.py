@@ -1,0 +1,86 @@
+"""Tests for the type objects."""
+
+import pytest
+
+from repro.typesystem import (
+    PRIMITIVES,
+    VOID,
+    ArrayType,
+    NamedType,
+    PrimitiveType,
+    array_of,
+    is_reference,
+    named,
+    type_package,
+)
+
+
+class TestPrimitivesAndVoid:
+    def test_all_java_primitives_exist(self):
+        assert set(PRIMITIVES) == {
+            "boolean", "byte", "short", "char", "int", "long", "float", "double",
+        }
+
+    def test_primitive_display(self):
+        assert str(PRIMITIVES["int"]) == "int"
+        assert PRIMITIVES["int"].display == "int"
+
+    def test_void_singleton_semantics(self):
+        assert str(VOID) == "void"
+        assert VOID == VOID
+        assert not is_reference(VOID)
+
+    def test_primitives_are_not_references(self):
+        assert not is_reference(PRIMITIVES["boolean"])
+
+
+class TestNamedType:
+    def test_named_constructor(self):
+        t = named("java.io.File")
+        assert t.simple == "File"
+        assert t.package == "java.io"
+        assert str(t) == "java.io.File"
+        assert is_reference(t)
+
+    def test_equality_by_name(self):
+        assert named("a.B") == named("a.B")
+        assert named("a.B") != named("a.C")
+
+    def test_hashable(self):
+        assert len({named("a.B"), named("a.B"), named("a.C")}) == 2
+
+
+class TestArrayType:
+    def test_single_dimension(self):
+        t = array_of(named("a.B"))
+        assert str(t) == "a.B[]"
+        assert t.dimensions == 1
+        assert t.package == "a"
+        assert is_reference(t)
+
+    def test_multi_dimensional(self):
+        t = array_of(named("a.B"), 3)
+        assert str(t) == "a.B[][][]"
+        assert t.dimensions == 3
+        assert t.ultimate_element == named("a.B")
+
+    def test_primitive_array(self):
+        t = array_of(PRIMITIVES["int"], 2)
+        assert str(t) == "int[][]"
+        assert t.package == ""
+
+    def test_zero_dims_rejected(self):
+        with pytest.raises(ValueError):
+            array_of(named("a.B"), 0)
+
+
+class TestTypePackage:
+    def test_named(self):
+        assert type_package(named("java.io.File")) == "java.io"
+
+    def test_array(self):
+        assert type_package(array_of(named("java.io.File"))) == "java.io"
+
+    def test_primitive_and_void(self):
+        assert type_package(PRIMITIVES["int"]) == ""
+        assert type_package(VOID) == ""
