@@ -21,6 +21,7 @@ Subpackages:
 * :mod:`repro.search` -- bounded path search, ranking, clustering
 * :mod:`repro.mining` -- backward slicing, extraction, generalization
 * :mod:`repro.corpus` -- corpus loading
+* :mod:`repro.robustness` -- deadlines, degradation, fault isolation
 * :mod:`repro.core` -- the PROSPECTOR facade
 * :mod:`repro.data` -- bundled J2SE/Eclipse stubs and corpus programs
 * :mod:`repro.eval` -- the paper's experiments (Table 1, Figure 8, ...)
@@ -36,15 +37,20 @@ from .core import (
     VisibleVariable,
     complete_free_variables,
 )
+from .robustness import Budget, Deadline, ManualClock, QueryOutcome
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Budget",
     "ComposedSnippet",
     "CursorContext",
+    "Deadline",
+    "ManualClock",
     "Prospector",
     "ProspectorConfig",
     "Query",
+    "QueryOutcome",
     "Synthesis",
     "VisibleVariable",
     "complete_free_variables",

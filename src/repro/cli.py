@@ -22,46 +22,70 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from .apispec import load_api_files
+from .apispec import ApiSpecError, load_api_files
 from .core import CursorContext, Prospector
-from .corpus import load_corpus_files
+from .corpus import CorpusLoadError, load_corpus_files
 from .data import standard_corpus, standard_registry
 from .eval import classify_stuck_cases, run_prototype_test, run_table1, simulate_user_study
 from .graph import bundle_to_json, graph_stats
+from .minijava import MiniJavaError
+from .typesystem import TypeSystemError
+
+#: Exit codes: distinct outcomes must be distinguishable by scripts.
+EXIT_OK = 0
+EXIT_NO_RESULTS = 1
+EXIT_INPUT_ERROR = 2
+EXIT_DEGRADED = 3
 
 
 def _build_prospector(args: argparse.Namespace) -> Prospector:
+    lenient = bool(getattr(args, "lenient_corpus", False))
     if getattr(args, "api", None):
         registry = load_api_files(args.api)
         corpus = (
-            load_corpus_files(registry, args.corpus)
+            load_corpus_files(registry, args.corpus, lenient=lenient)
             if getattr(args, "corpus", None)
             else None
         )
     else:
         registry = standard_registry()
         if getattr(args, "corpus", None):
-            corpus = load_corpus_files(registry, args.corpus)
+            corpus = load_corpus_files(registry, args.corpus, lenient=lenient)
         elif getattr(args, "no_corpus", False):
             corpus = None
         else:
             corpus = standard_corpus(registry)
-    return Prospector(registry, corpus)
+    prospector = Prospector(registry, corpus)
+    diagnostics = prospector.corpus_diagnostics
+    if diagnostics is not None and not diagnostics.ok:
+        print(diagnostics.summary(), file=sys.stderr)
+    return prospector
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
     prospector = _build_prospector(args)
-    results = prospector.query(args.t_in, args.t_out)
+    outcome = None
+    if args.time_budget_ms is not None:
+        outcome = prospector.query_outcome(
+            args.t_in, args.t_out, time_budget_ms=args.time_budget_ms
+        )
+        results = list(outcome.results)
+    else:
+        results = prospector.query(args.t_in, args.t_out)
+    if outcome is not None and outcome.degraded:
+        print(f"warning: degraded answer ({outcome.reason})", file=sys.stderr)
     if not results:
         print(f"no jungloids found for ({args.t_in}, {args.t_out})")
-        return 1
+        return EXIT_NO_RESULTS
     for r in results[: args.top]:
         print(f"#{r.rank}  {r.inline(args.input_var)}")
         if args.statements:
             snippet = r.code(args.input_var, args.result_var)
             for line in snippet.lines:
                 print(f"      {line}")
-    return 0
+    if outcome is not None and outcome.degraded:
+        return EXIT_DEGRADED
+    return EXIT_OK
 
 
 def _parse_visible(registry, pairs: Sequence[str]) -> List:
@@ -82,14 +106,25 @@ def _cmd_complete(args: argparse.Namespace) -> int:
         target_name=args.target_name,
         visible=_parse_visible(prospector.registry, args.visible),
     )
-    results = prospector.complete(context)
+    outcome = None
+    if args.time_budget_ms is not None:
+        outcome = prospector.complete_outcome(
+            context, time_budget_ms=args.time_budget_ms
+        )
+        results = list(outcome.results)
+    else:
+        results = prospector.complete(context)
+    if outcome is not None and outcome.degraded:
+        print(f"warning: degraded answer ({outcome.reason})", file=sys.stderr)
     if not results:
         print(f"no completions for {args.t_out}")
-        return 1
+        return EXIT_NO_RESULTS
     for r in results[: args.top]:
         var = context.variable_of_type(r.jungloid.input_type)
         print(f"#{r.rank}  {r.inline(var.name if var else '')}")
-    return 0
+    if outcome is not None and outcome.degraded:
+        return EXIT_DEGRADED
+    return EXIT_OK
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -111,6 +146,10 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     print(f"\ngeneralized to {mining.suffix_count} unique suffixes:")
     for s in mining.suffixes:
         print(f"  {s.describe()}")
+    if mining.faults:
+        print(f"\nskipped {mining.fault_count} cast(s) with extraction faults:", file=sys.stderr)
+        for fault in mining.faults:
+            print(f"  {fault}", file=sys.stderr)
     summary = mining.trimming_summary()
     print(
         f"\nmean example length {summary['mean_example_len']:.1f}"
@@ -163,6 +202,21 @@ def _add_data_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--api", action="append", metavar="FILE", help="load this .api stub file (repeatable; replaces the bundled stubs)")
     parser.add_argument("--corpus", action="append", metavar="FILE", help="load this .mj corpus file (repeatable)")
     parser.add_argument("--no-corpus", action="store_true", help="signatures only: skip corpus mining")
+    parser.add_argument(
+        "--lenient-corpus",
+        action="store_true",
+        help="quarantine malformed corpus files and mine the rest instead of aborting",
+    )
+
+
+def _add_budget_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--time-budget-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="wall-clock budget; on expiry degrade gracefully (exit code 3) instead of hanging",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -180,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--result-var", default="result", help="name for the result variable")
     q.add_argument("--statements", action="store_true", help="also print insertable statements")
     _add_data_options(q)
+    _add_budget_option(q)
     q.set_defaults(func=_cmd_query)
 
     c = sub.add_parser("complete", help="content-assist: infer queries from context")
@@ -188,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--target-name", default="result")
     c.add_argument("--top", type=int, default=5)
     _add_data_options(c)
+    _add_budget_option(c)
     c.set_defaults(func=_cmd_complete)
 
     t = sub.add_parser("table1", help="run the Table-1 query-processing experiment")
@@ -221,7 +277,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ApiSpecError, MiniJavaError, CorpusLoadError, TypeSystemError) as exc:
+        # Loader / parser problems are input errors, not crashes: report
+        # cleanly and use the dedicated exit code.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INPUT_ERROR
+    except (KeyError, ValueError) as exc:
+        # e.g. unknown/ambiguous type names from resolve_type_spec.
+        detail = exc.args[0] if exc.args else exc
+        print(f"error: {detail}", file=sys.stderr)
+        return EXIT_INPUT_ERROR
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INPUT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

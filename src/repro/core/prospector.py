@@ -22,6 +22,13 @@ from ..mining import (
     MiningResult,
     mine_corpus,
 )
+from ..robustness import (
+    Clock,
+    CorpusDiagnostics,
+    Deadline,
+    QueryOutcome,
+    SYSTEM_CLOCK,
+)
 from ..search import GraphSearch, SearchConfig, representatives
 from ..typesystem import Method, TypeRegistry, VOID
 from .context import CursorContext
@@ -50,10 +57,12 @@ class Prospector:
         registry: TypeRegistry,
         corpus: Optional[CorpusProgram] = None,
         config: ProspectorConfig = ProspectorConfig(),
+        clock: Clock = SYSTEM_CLOCK,
     ):
         self.registry = registry
         self.config = config
         self.corpus = corpus
+        self.clock = clock
         if corpus is not None:
             self.mining: Optional[MiningResult] = mine_corpus(
                 corpus.registry,
@@ -69,7 +78,7 @@ class Prospector:
             registry, mined, public_only=config.public_only
         )
         self.search = GraphSearch(
-            self.graph, cost_model=config.cost_model, config=config.search
+            self.graph, cost_model=config.cost_model, config=config.search, clock=clock
         )
 
     # ------------------------------------------------------------------
@@ -105,6 +114,26 @@ class Prospector:
         results = self.search.solve_multi([q.t_in], q.t_out)
         return self._package(results)
 
+    def query_outcome(
+        self,
+        t_in: TypeSpec,
+        t_out: TypeSpec,
+        time_budget_ms: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> QueryOutcome:
+        """Budget-aware query: ranked :class:`Synthesis` results wrapped in
+        a :class:`~repro.robustness.QueryOutcome`.
+
+        On deadline expiry the engine degrades (full window → zero-extra
+        window → shortest path) and the outcome says so; with no budget
+        the results equal :meth:`query` exactly.
+        """
+        q = Query.of(self.registry, t_in, t_out)
+        if deadline is None and time_budget_ms is not None:
+            deadline = Deadline.after(time_budget_ms, self.clock)
+        outcome = self.search.solve_multi_outcome([q.t_in], q.t_out, deadline=deadline)
+        return outcome.with_results(self._package(outcome.results))
+
     def timed_query(
         self, t_in: TypeSpec, t_out: TypeSpec
     ) -> Tuple[List[Synthesis], float]:
@@ -121,6 +150,20 @@ class Prospector:
         """
         results = self.search.solve_multi(context.source_types(), context.target_type)
         return self._package(results)
+
+    def complete_outcome(
+        self,
+        context: CursorContext,
+        time_budget_ms: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> QueryOutcome:
+        """Budget-aware content assist (see :meth:`query_outcome`)."""
+        if deadline is None and time_budget_ms is not None:
+            deadline = Deadline.after(time_budget_ms, self.clock)
+        outcome = self.search.solve_multi_outcome(
+            context.source_types(), context.target_type, deadline=deadline
+        )
+        return outcome.with_results(self._package(outcome.results))
 
     def _package(self, results) -> List[Synthesis]:
         jungloids = [r.jungloid for r in results]
@@ -190,6 +233,11 @@ class Prospector:
     # Introspection
     # ------------------------------------------------------------------
 
+    @property
+    def corpus_diagnostics(self) -> Optional[CorpusDiagnostics]:
+        """Quarantine report from a lenient corpus load, if one happened."""
+        return self.corpus.diagnostics if self.corpus is not None else None
+
     def stats(self) -> dict:
         """Registry + graph + mining summary (Section 5 reporting)."""
         info = {
@@ -200,6 +248,7 @@ class Prospector:
             info["mining"] = {
                 "examples": self.mining.example_count,
                 "suffixes": self.mining.suffix_count,
+                "extraction_faults": self.mining.fault_count,
                 **self.mining.trimming_summary(),
             }
         return info

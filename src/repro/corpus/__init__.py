@@ -1,5 +1,20 @@
 """Corpus loading utilities."""
 
-from .loader import CorpusProgram, clone_registry, load_corpus_files, load_corpus_texts
+from ..robustness import CorpusDiagnostics, CorpusFault
+from .loader import (
+    CorpusLoadError,
+    CorpusProgram,
+    clone_registry,
+    load_corpus_files,
+    load_corpus_texts,
+)
 
-__all__ = ["CorpusProgram", "clone_registry", "load_corpus_files", "load_corpus_texts"]
+__all__ = [
+    "CorpusDiagnostics",
+    "CorpusFault",
+    "CorpusLoadError",
+    "CorpusProgram",
+    "clone_registry",
+    "load_corpus_files",
+    "load_corpus_texts",
+]

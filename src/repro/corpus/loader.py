@@ -3,6 +3,16 @@
 A corpus is resolved against a **clone** of the API registry so client
 classes and members never leak into the synthesis graph (client methods
 must be inlined by mining, not offered as signature edges).
+
+Two loading disciplines:
+
+* **strict** (default, the historical behavior): the first malformed
+  file raises and nothing loads;
+* **lenient** (``lenient=True``): every file is taken through read →
+  parse → resolve → check with faults isolated per file. Broken files
+  are quarantined into a :class:`~repro.robustness.CorpusDiagnostics`
+  report (file, phase, error) and the healthy remainder loads normally —
+  noisy corpora are the normal case for mining, not an error.
 """
 
 from __future__ import annotations
@@ -14,11 +24,27 @@ from ..graph import registry_from_dict, registry_to_dict
 from ..minijava import (
     CheckReport,
     CompilationUnit,
+    MiniJavaError,
     check_program,
     parse_minijava,
     resolve_program,
 )
-from ..typesystem import NamedType, TypeRegistry
+from ..robustness import (
+    CorpusDiagnostics,
+    PHASE_CHECK,
+    PHASE_PARSE,
+    PHASE_READ,
+    PHASE_RESOLVE,
+)
+from ..typesystem import NamedType, TypeRegistry, TypeSystemError
+
+#: Resolution touches both the mini-Java front end and the registry, so
+#: either family of model error can surface; neither is a crash.
+_RESOLVE_ERRORS = (MiniJavaError, TypeSystemError)
+
+
+class CorpusLoadError(Exception):
+    """A corpus file could not be read (strict mode); names the path."""
 
 
 def clone_registry(registry: TypeRegistry) -> TypeRegistry:
@@ -34,6 +60,8 @@ class CorpusProgram:
     registry: TypeRegistry = field(default_factory=TypeRegistry)
     corpus_types: List[NamedType] = field(default_factory=list)
     check_report: Optional[CheckReport] = None
+    #: Quarantine report from a lenient load; ``None`` after a strict load.
+    diagnostics: Optional[CorpusDiagnostics] = None
 
     @property
     def class_count(self) -> int:
@@ -48,12 +76,17 @@ def load_corpus_texts(
     api_registry: TypeRegistry,
     texts: Iterable[Tuple[str, str]],
     check: bool = True,
+    lenient: bool = False,
 ) -> CorpusProgram:
     """Parse and resolve ``(source_name, text)`` corpus files.
 
     The returned program owns a cloned registry containing API + client
-    declarations; ``api_registry`` is left untouched.
+    declarations; ``api_registry`` is left untouched. With
+    ``lenient=True`` broken files are quarantined (see module docstring)
+    instead of raising.
     """
+    if lenient:
+        return _load_corpus_texts_lenient(api_registry, texts, check=check)
     registry = clone_registry(api_registry)
     units = [parse_minijava(text, source) for source, text in texts]
     corpus_types = resolve_program(registry, units)
@@ -66,11 +99,130 @@ def load_corpus_texts(
 
 
 def load_corpus_files(
-    api_registry: TypeRegistry, paths: Iterable[str], check: bool = True
+    api_registry: TypeRegistry,
+    paths: Iterable[str],
+    check: bool = True,
+    lenient: bool = False,
 ) -> CorpusProgram:
-    """Load corpus ``.mj`` files from disk."""
+    """Load corpus ``.mj`` files from disk.
+
+    A missing or unreadable path produces a diagnostic naming the path:
+    strict mode raises :class:`CorpusLoadError`, lenient mode quarantines
+    the path in the ``read`` phase and continues.
+    """
     texts = []
+    read_faults = CorpusDiagnostics()
     for path in paths:
-        with open(path, "r", encoding="utf-8") as handle:
-            texts.append((str(path), handle.read()))
-    return load_corpus_texts(api_registry, texts, check=check)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                texts.append((str(path), handle.read()))
+        except (OSError, UnicodeDecodeError) as exc:
+            if not lenient:
+                raise CorpusLoadError(
+                    f"cannot read corpus file {path!s}: {exc}"
+                ) from exc
+            read_faults.record(str(path), PHASE_READ, exc)
+    program = load_corpus_texts(api_registry, texts, check=check, lenient=lenient)
+    if lenient and program.diagnostics is not None and read_faults.faults:
+        # Read-phase faults happened first; keep them at the front.
+        read_faults.loaded = program.diagnostics.loaded
+        read_faults.faults.extend(program.diagnostics.faults)
+        program.diagnostics = read_faults
+    return program
+
+
+# ----------------------------------------------------------------------
+# Lenient loading: per-file fault isolation
+# ----------------------------------------------------------------------
+
+
+def _load_corpus_texts_lenient(
+    api_registry: TypeRegistry, texts: Iterable[Tuple[str, str]], check: bool
+) -> CorpusProgram:
+    diagnostics = CorpusDiagnostics()
+
+    units: List[CompilationUnit] = []
+    for source, text in texts:
+        try:
+            units.append(parse_minijava(text, source))
+        except MiniJavaError as exc:
+            diagnostics.record(source, PHASE_PARSE, exc)
+
+    registry, units, corpus_types = _resolve_lenient(api_registry, units, diagnostics)
+
+    report: Optional[CheckReport] = None
+    if check:
+        while True:
+            report = check_program(registry, units)
+            if report.ok:
+                break
+            bad_sources = []
+            for issue in report.issues:
+                if issue.source not in bad_sources:
+                    bad_sources.append(issue.source)
+            for source in bad_sources:
+                first = next(i for i in report.issues if i.source == source)
+                diagnostics.record(source, PHASE_CHECK, first)
+            units = [u for u in units if u.source not in set(bad_sources)]
+            # Quarantined classes are declared in the registry; rebuild it
+            # from the API so their types don't linger.
+            registry, units, corpus_types = _resolve_lenient(
+                api_registry, units, diagnostics
+            )
+
+    diagnostics.loaded = [u.source for u in units]
+    return CorpusProgram(
+        units=units,
+        registry=registry,
+        corpus_types=corpus_types,
+        check_report=report,
+        diagnostics=diagnostics,
+    )
+
+
+def _resolve_lenient(
+    api_registry: TypeRegistry,
+    units: Sequence[CompilationUnit],
+    diagnostics: CorpusDiagnostics,
+):
+    """Resolve as many units as possible, quarantining culprits.
+
+    Healthy units are resolved *together* (corpus files may reference
+    each other's classes); on failure the culprit file is identified,
+    quarantined, and resolution retried on the remainder.
+    """
+    remaining = list(units)
+    while remaining:
+        registry = clone_registry(api_registry)
+        try:
+            corpus_types = resolve_program(registry, remaining)
+            return registry, remaining, corpus_types
+        except _RESOLVE_ERRORS as exc:
+            culprit = _resolve_culprit(api_registry, remaining)
+            diagnostics.record(culprit.source, PHASE_RESOLVE, exc)
+            remaining = [u for u in remaining if u is not culprit]
+    return clone_registry(api_registry), [], []
+
+
+def _resolve_culprit(
+    api_registry: TypeRegistry, units: Sequence[CompilationUnit]
+) -> CompilationUnit:
+    """The unit to quarantine after a joint resolution failure.
+
+    Prefer a unit whose removal lets the rest resolve; fall back to the
+    first unit that cannot resolve even alone; fall back to the first
+    unit (guaranteeing progress for mutually-broken sets).
+    """
+    for unit in units:
+        rest = [u for u in units if u is not unit]
+        try:
+            resolve_program(clone_registry(api_registry), rest)
+        except _RESOLVE_ERRORS:
+            continue
+        return unit
+    for unit in units:
+        try:
+            resolve_program(clone_registry(api_registry), [unit])
+        except _RESOLVE_ERRORS:
+            return unit
+    return units[0]

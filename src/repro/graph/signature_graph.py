@@ -46,6 +46,7 @@ class SignatureGraph:
         self._out: Dict[Node, List[Edge]] = {}
         self._in: Dict[Node, List[Edge]] = {}
         self._nodes: Set[Node] = set()
+        self._revision = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -104,7 +105,17 @@ class SignatureGraph:
         self.add_node(edge.target)
         self._out[edge.source].append(edge)
         self._in[edge.target].append(edge)
+        self._revision += 1
         return edge
+
+    @property
+    def revision(self) -> int:
+        """Mutation counter; bumps on every edge insertion.
+
+        Distance caches key on this so that grafting mined paths into an
+        already-queried graph invalidates stale shortest-distance maps.
+        """
+        return self._revision
 
     def add_elementary(self, elementary: ElementaryJungloid) -> Optional[Edge]:
         """Add a plain edge for an elementary jungloid between type nodes.

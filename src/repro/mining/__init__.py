@@ -1,5 +1,6 @@
 """Jungloid mining: backward slicing, extraction, generalization, grafting."""
 
+from ..robustness import ExtractionFault
 from .dataflow import AssignmentMap, build_assignment_map, widening_chain
 from .extractor import (
     ExampleJungloid,
@@ -30,6 +31,7 @@ __all__ = [
     "DEFAULT_TARGET_TYPES",
     "ExampleJungloid",
     "ExtractionConfig",
+    "ExtractionFault",
     "GeneralizedExample",
     "JungloidExtractor",
     "MiningResult",

@@ -51,6 +51,7 @@ from ..minijava.ast import (
     walk_statements,
 )
 from ..minijava.callgraph import CallGraph, build_call_graph
+from ..robustness import ExtractionFault
 from ..typesystem import JavaType, NamedType, TypeRegistry, is_reference
 from .dataflow import AssignmentMap, build_assignment_map, widening_chain
 
@@ -87,6 +88,9 @@ class ExtractionConfig:
     max_frames: int = 8
     #: Drop bare-downcast examples (they would overgeneralize the graph).
     min_example_steps: int = 2
+    #: Propagate per-cast extraction errors instead of recording them.
+    #: Off by default: one pathological downcast must not sink ``mine()``.
+    strict: bool = False
 
 
 class _Frame:
@@ -124,20 +128,44 @@ class JungloidExtractor:
         self.call_graph = call_graph or build_call_graph(registry, units)
         self.config = config
         self._assignment_maps: Dict[int, AssignmentMap] = {}
+        #: Per-cast failures recorded (not raised) during extraction.
+        self.faults: List[ExtractionFault] = []
 
     # ------------------------------------------------------------------
     # Public entry points
     # ------------------------------------------------------------------
 
     def extract_all(self) -> List[ExampleJungloid]:
-        """Extract example jungloids from every downcast in the corpus."""
+        """Extract example jungloids from every downcast in the corpus.
+
+        Each cast is processed in isolation: an error while slicing one
+        downcast is recorded in :attr:`faults` and extraction moves on to
+        the next cast (unless ``config.strict``), so one pathological
+        cast cannot sink the whole mining run.
+        """
         examples: List[ExampleJungloid] = []
         for unit in self.units:
             for cls in unit.classes:
                 for method in cls.methods:
                     for expr in method_expressions(method):
-                        if isinstance(expr, CastExpr) and self._is_downcast(expr):
-                            examples.extend(self.extract_from_cast(unit, method, expr))
+                        if not isinstance(expr, CastExpr):
+                            continue
+                        try:
+                            if self._is_downcast(expr):
+                                examples.extend(
+                                    self.extract_from_cast(unit, method, expr)
+                                )
+                        except Exception as exc:
+                            if self.config.strict:
+                                raise
+                            self.faults.append(
+                                ExtractionFault(
+                                    source=unit.source,
+                                    method=method.name,
+                                    position=str(expr.position),
+                                    error=f"{type(exc).__name__}: {exc}",
+                                )
+                            )
         return examples
 
     def extract_from_cast(

@@ -14,6 +14,7 @@ from ..graph import JungloidGraph
 from ..jungloids import Jungloid
 from ..minijava.ast import CompilationUnit
 from ..minijava.callgraph import CallGraph, build_call_graph
+from ..robustness import ExtractionFault
 from ..typesystem import NamedType, TypeRegistry
 from .extractor import ExampleJungloid, ExtractionConfig, JungloidExtractor
 from .generalize import GeneralizedExample, generalize_examples, unique_suffixes
@@ -26,6 +27,8 @@ class MiningResult:
     examples: List[ExampleJungloid] = field(default_factory=list)
     generalized: List[GeneralizedExample] = field(default_factory=list)
     suffixes: List[Jungloid] = field(default_factory=list)
+    #: Per-cast extraction failures that were isolated rather than raised.
+    faults: List[ExtractionFault] = field(default_factory=list)
 
     @property
     def example_count(self) -> int:
@@ -34,6 +37,10 @@ class MiningResult:
     @property
     def suffix_count(self) -> int:
         return len(self.suffixes)
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.faults)
 
     def trimming_summary(self) -> dict:
         """How much generalization shortened the raw examples."""
@@ -71,6 +78,7 @@ def mine_corpus(
         examples=examples,
         generalized=generalized,
         suffixes=unique_suffixes(generalized),
+        faults=list(extractor.faults),
     )
 
 

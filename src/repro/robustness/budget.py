@@ -1,0 +1,119 @@
+"""Wall-clock budgets for interactive queries (Section 5's ~1s target).
+
+A :class:`Deadline` is an absolute expiry point measured by an injectable
+monotonic clock; a :class:`Budget` is the reusable recipe ("this many
+milliseconds on this clock") that mints deadlines per query. Keeping the
+clock injectable is what makes deadline behavior deterministically
+testable: :class:`ManualClock` advances only when told to (or by a fixed
+tick per reading), so tests can force expiry at an exact probe.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+#: A monotonic clock: returns seconds as a float. ``time.monotonic`` in
+#: production; :class:`ManualClock` under test.
+Clock = Callable[[], float]
+
+#: The production clock.
+SYSTEM_CLOCK: Clock = time.monotonic
+
+
+class ManualClock:
+    """An injectable clock that only moves when the test says so.
+
+    ``tick`` seconds are added after every reading, which lets a single
+    constructor call simulate "time passes while the engine works"
+    without any cooperation from the code under test.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0):
+        self._now = float(start)
+        self.tick = float(tick)
+        self.readings = 0
+
+    def __call__(self) -> float:
+        now = self._now
+        self.readings += 1
+        self._now += self.tick
+        return now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward explicitly."""
+        self._now += float(seconds)
+
+    @property
+    def now(self) -> float:
+        """Current time without consuming a reading."""
+        return self._now
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute wall-clock expiry for one query.
+
+    ``started_at``/``expires_at`` are readings of ``clock``. The deadline
+    never raises by itself — callers poll :meth:`expired` and degrade.
+    """
+
+    started_at: float
+    expires_at: float
+    clock: Clock = SYSTEM_CLOCK
+
+    @classmethod
+    def after(cls, budget_ms: float, clock: Clock = SYSTEM_CLOCK) -> "Deadline":
+        """A deadline ``budget_ms`` milliseconds from now on ``clock``."""
+        now = clock()
+        return cls(started_at=now, expires_at=now + budget_ms / 1000.0, clock=clock)
+
+    def expired(self) -> bool:
+        return self.clock() >= self.expires_at
+
+    def remaining_ms(self) -> float:
+        """Milliseconds left; never negative."""
+        return max(0.0, (self.expires_at - self.clock()) * 1000.0)
+
+    def elapsed_ms(self) -> float:
+        return (self.clock() - self.started_at) * 1000.0
+
+    @property
+    def budget_ms(self) -> float:
+        return (self.expires_at - self.started_at) * 1000.0
+
+    def fraction(self, f: float) -> "Deadline":
+        """A sub-deadline spanning the first ``f`` of this budget.
+
+        The degradation ladder reserves tail-end time for its cheaper
+        rungs by running rung *k* against ``deadline.fraction(f_k)``.
+        """
+        if f >= 1.0:
+            return self
+        return Deadline(
+            started_at=self.started_at,
+            expires_at=self.started_at + f * (self.expires_at - self.started_at),
+            clock=self.clock,
+        )
+
+
+@dataclass(frozen=True)
+class Budget:
+    """A reusable time budget: mints a fresh :class:`Deadline` per query.
+
+    ``time_budget_ms=None`` means unlimited — :meth:`start` returns
+    ``None`` and the engine runs exactly as it would without budgets.
+    """
+
+    time_budget_ms: Optional[float] = None
+    clock: Clock = SYSTEM_CLOCK
+
+    @property
+    def unlimited(self) -> bool:
+        return self.time_budget_ms is None
+
+    def start(self) -> Optional[Deadline]:
+        if self.time_budget_ms is None:
+            return None
+        return Deadline.after(self.time_budget_ms, self.clock)

@@ -1,0 +1,102 @@
+"""Deterministic fault injection for exercising the degradation paths.
+
+Robustness code that is only reachable under production failures is
+untested code. These hooks make every failure mode reproducible:
+
+* :class:`ManualClock` (in :mod:`.budget`) drives deadline expiry;
+* :class:`FlakyGraph` wraps a signature/jungloid graph and raises
+  :class:`InjectedFault` after a fixed number of edge expansions, so a
+  mid-search crash happens at an exact, repeatable step;
+* the corpus mutators corrupt ``(name, text)`` corpus entries in fixed
+  ways (garbled token, truncation) so lenient-loading quarantine paths
+  run against known-bad input.
+
+Nothing here is imported by production code paths; the engine and the
+loaders see only the ordinary graph / corpus interfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+
+class InjectedFault(RuntimeError):
+    """A deliberate failure raised by a fault-injection hook."""
+
+
+class FlakyGraph:
+    """A graph proxy whose edge iteration fails after ``fail_after`` calls.
+
+    Delegates everything else to the wrapped graph, so it can stand in
+    for a :class:`~repro.graph.SignatureGraph` anywhere the search engine
+    expects one. ``fail_on`` selects which accessor trips ("out" for the
+    forward DFS, "in" for the backward Dijkstra).
+    """
+
+    def __init__(self, graph, fail_after: int, fail_on: str = "out"):
+        self._graph = graph
+        self.fail_after = int(fail_after)
+        self.fail_on = fail_on
+        self.calls = 0
+
+    def _tick(self, kind: str):
+        if kind == self.fail_on:
+            self.calls += 1
+            if self.calls > self.fail_after:
+                raise InjectedFault(
+                    f"injected {kind}-edge fault after {self.fail_after} expansions"
+                )
+
+    def out_edges(self, node):
+        self._tick("out")
+        return self._graph.out_edges(node)
+
+    def in_edges(self, node):
+        self._tick("in")
+        return self._graph.in_edges(node)
+
+    def __getattr__(self, name):
+        return getattr(self._graph, name)
+
+
+#: A corpus entry as the loaders consume it.
+CorpusText = Tuple[str, str]
+#: A text mutator used by :func:`corrupt_corpus`.
+Mutator = Callable[[str], str]
+
+
+def garble_text(text: str) -> str:
+    """Inject an unlexable token mid-file — guarantees a parse failure."""
+    middle = len(text) // 2
+    return text[:middle] + " %?garbled?% " + text[middle:]
+
+
+def truncate_text(text: str, keep_fraction: float = 0.5) -> str:
+    """Chop the file mid-token, the classic interrupted-checkout shape."""
+    return text[: int(len(text) * keep_fraction)]
+
+
+def blank_text(text: str) -> str:
+    """Replace the file with whitespace (parses to an empty unit or fails)."""
+    return " \n"
+
+
+def corrupt_corpus(
+    texts: Iterable[CorpusText],
+    victims: Sequence[str],
+    mutator: Mutator = garble_text,
+) -> List[CorpusText]:
+    """A copy of ``texts`` with every entry named in ``victims`` mutated.
+
+    Unknown victim names are an error — a typo would silently test
+    nothing.
+    """
+    texts = list(texts)
+    victim_set = set(victims)
+    known = {name for name, _ in texts}
+    missing = victim_set - known
+    if missing:
+        raise KeyError(f"corrupt_corpus: unknown corpus entries {sorted(missing)}")
+    return [
+        (name, mutator(text) if name in victim_set else text) for name, text in texts
+    ]

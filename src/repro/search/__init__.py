@@ -2,11 +2,20 @@
 
 from .cluster import Cluster, cluster_results, representatives, type_chain
 from .engine import GraphSearch, SearchConfig, SearchResult
-from .paths import UNREACHABLE, count_paths, distances_to, enumerate_paths, shortest_length
+from .paths import (
+    EnumerationReport,
+    UNREACHABLE,
+    count_paths,
+    distances_to,
+    enumerate_paths,
+    shortest_length,
+    shortest_path,
+)
 from .ranking import RankKey, package_crossings, rank, rank_key, true_output_type
 
 __all__ = [
     "Cluster",
+    "EnumerationReport",
     "GraphSearch",
     "RankKey",
     "SearchConfig",
@@ -21,5 +30,6 @@ __all__ = [
     "rank_key",
     "representatives",
     "shortest_length",
+    "shortest_path",
     "type_chain",
 ]

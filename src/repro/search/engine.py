@@ -6,6 +6,14 @@ shortest solution length ``m``, construct all acyclic paths of length
 rank. Multi-source queries (one per visible variable, plus ``void``)
 share one backward distance map, so they cost about the same as a single
 query.
+
+Interactivity (~1s answers, Section 5) is enforced by an optional
+wall-clock budget: :meth:`GraphSearch.solve_multi_outcome` runs the
+degradation ladder — full ``m+extra`` window, then ``extra_cost=0``
+window, then a single shortest path per source — and wraps whatever it
+gathered in a :class:`~repro.robustness.QueryOutcome` instead of raising
+or hanging. With no budget configured the engine behaves exactly as the
+paper's tool (and exactly as this module always has).
 """
 
 from __future__ import annotations
@@ -15,8 +23,26 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..graph import Node, SignatureGraph
 from ..jungloids import CostModel, DEFAULT_COST_MODEL, Jungloid
+from ..robustness import (
+    Clock,
+    Deadline,
+    DegradationReason,
+    QueryOutcome,
+    REASON_DEADLINE,
+    REASON_FAULT,
+    RUNG_FULL_WINDOW,
+    RUNG_SHORTEST_PATH,
+    RUNG_ZERO_EXTRA,
+    SYSTEM_CLOCK,
+)
 from ..typesystem import JavaType, VOID
-from .paths import UNREACHABLE, distances_to, enumerate_paths
+from .paths import (
+    EnumerationReport,
+    UNREACHABLE,
+    distances_to,
+    enumerate_paths,
+    shortest_path,
+)
 from .ranking import rank, rank_key
 
 
@@ -32,6 +58,13 @@ class SearchConfig:
     max_paths_per_source: int = 4000
     #: Cap on ranked results returned to the caller.
     max_results: int = 100
+    #: Wall-clock budget per query in milliseconds; ``None`` = unlimited.
+    time_budget_ms: Optional[float] = None
+    #: How many DFS expansions between deadline polls.
+    deadline_check_every: int = 128
+    #: Budget fractions reserved for the first two ladder rungs; the
+    #: remainder funds the (always-affordable) shortest-path rung.
+    ladder_fractions: Tuple[float, float] = (0.7, 0.95)
 
 
 @dataclass(frozen=True)
@@ -54,11 +87,14 @@ class GraphSearch:
         graph: SignatureGraph,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         config: SearchConfig = SearchConfig(),
+        clock: Clock = SYSTEM_CLOCK,
     ):
         self.graph = graph
         self.cost_model = cost_model
         self.config = config
+        self.clock = clock
         self._dist_cache: Dict[Node, Dict[Node, int]] = {}
+        self._dist_cache_revision = getattr(graph, "revision", 0)
 
     def _edge_cost(self, edge) -> int:
         """Edge weight = the ranking heuristic's size estimate (§3.2)."""
@@ -73,6 +109,12 @@ class GraphSearch:
         results = self.solve_multi([t_in], t_out)
         return [r.jungloid for r in results]
 
+    def solve_outcome(
+        self, t_in: JavaType, t_out: JavaType, deadline: Optional[Deadline] = None
+    ) -> QueryOutcome:
+        """Budget-aware single query; results are :class:`SearchResult`."""
+        return self.solve_multi_outcome([t_in], t_out, deadline=deadline)
+
     # ------------------------------------------------------------------
     # Multi-source query (code-completion mode)
     # ------------------------------------------------------------------
@@ -86,11 +128,50 @@ class GraphSearch:
         must not be cut off because another source is adjacent to the
         target), but all share the single backward distance map.
         """
+        return list(self.solve_multi_outcome(sources, t_out).results)
+
+    def solve_multi_outcome(
+        self,
+        sources: Sequence[JavaType],
+        t_out: JavaType,
+        deadline: Optional[Deadline] = None,
+    ) -> QueryOutcome:
+        """Like :meth:`solve_multi`, but deadline-aware and fault-isolated.
+
+        Runs the degradation ladder per source: the full ``m + extra``
+        window first; if the deadline cuts it short (or edge iteration
+        faults), the cheaper ``extra_cost=0`` window; and finally one
+        greedy shortest path, which always completes. The outcome carries
+        ``degraded`` plus a structured reason per cut. With no deadline
+        and no faults the results are identical to the historical
+        :meth:`solve_multi`.
+        """
+        if deadline is None and self.config.time_budget_ms is not None:
+            deadline = Deadline.after(self.config.time_budget_ms, self.clock)
         if not self.graph.has_node(t_out):
-            return []
+            return QueryOutcome(results=(), degraded=False)
         dist = self._distances(t_out)
-        results: List[SearchResult] = []
+        collected: List[SearchResult] = []
         seen_texts = set()
+        reasons: List[DegradationReason] = []
+        rungs_used: List[str] = [RUNG_FULL_WINDOW]
+        sub_full = deadline.fraction(self.config.ladder_fractions[0]) if deadline else None
+        sub_zero = deadline.fraction(self.config.ladder_fractions[1]) if deadline else None
+
+        def collect(source: JavaType, paths: Iterable) -> None:
+            for path in paths:
+                jungloid = SignatureGraph.path_to_jungloid(path)
+                text = jungloid.render_expression("x")
+                key = (source, text)
+                if key in seen_texts:
+                    continue
+                seen_texts.add(key)
+                collected.append(SearchResult(jungloid, source))
+
+        def use_rung(rung: str) -> None:
+            if rung not in rungs_used:
+                rungs_used.append(rung)
+
         for source in _unique(sources):
             if not self.graph.has_node(source):
                 continue
@@ -98,26 +179,107 @@ class GraphSearch:
             if m >= UNREACHABLE:
                 continue
             bound = min(m + self.config.extra_cost, self.config.absolute_max_cost)
-            for path in enumerate_paths(
-                self.graph,
-                source,
-                t_out,
-                bound,
-                dist=dist,
-                max_paths=self.config.max_paths_per_source,
-                edge_cost=self._edge_cost,
-            ):
-                jungloid = SignatureGraph.path_to_jungloid(path)
-                text = jungloid.render_expression("x")
-                key = (source, text)
-                if key in seen_texts:
-                    continue
-                seen_texts.add(key)
-                results.append(SearchResult(jungloid, source))
-        results.sort(
+            report = EnumerationReport()
+            fault: Optional[Exception] = None
+            try:
+                collect(
+                    source,
+                    enumerate_paths(
+                        self.graph,
+                        source,
+                        t_out,
+                        bound,
+                        dist=dist,
+                        max_paths=self.config.max_paths_per_source,
+                        edge_cost=self._edge_cost,
+                        deadline=sub_full,
+                        report=report,
+                        check_every=self.config.deadline_check_every,
+                    ),
+                )
+            except Exception as exc:  # fault isolation: one source, not the query
+                fault = exc
+            if fault is not None:
+                reasons.append(
+                    DegradationReason(
+                        REASON_FAULT, RUNG_FULL_WINDOW, f"{source}: {fault}"
+                    )
+                )
+            elif not report.deadline_expired:
+                continue  # source fully enumerated at the top rung
+            else:
+                reasons.append(
+                    DegradationReason(
+                        REASON_DEADLINE,
+                        RUNG_FULL_WINDOW,
+                        f"{source}: m+{self.config.extra_cost} window truncated",
+                    )
+                )
+
+            # Rung 2: the zero-extra window (skip when it equals rung 1).
+            settled = False
+            if self.config.extra_cost > 0 or fault is not None:
+                use_rung(RUNG_ZERO_EXTRA)
+                zero_report = EnumerationReport()
+                try:
+                    collect(
+                        source,
+                        enumerate_paths(
+                            self.graph,
+                            source,
+                            t_out,
+                            min(m, self.config.absolute_max_cost),
+                            dist=dist,
+                            max_paths=self.config.max_paths_per_source,
+                            edge_cost=self._edge_cost,
+                            deadline=sub_zero,
+                            report=zero_report,
+                            check_every=self.config.deadline_check_every,
+                        ),
+                    )
+                    if zero_report.deadline_expired:
+                        reasons.append(
+                            DegradationReason(
+                                REASON_DEADLINE,
+                                RUNG_ZERO_EXTRA,
+                                f"{source}: zero-extra window truncated",
+                            )
+                        )
+                    else:
+                        settled = True
+                except Exception as exc:
+                    reasons.append(
+                        DegradationReason(
+                            REASON_FAULT, RUNG_ZERO_EXTRA, f"{source}: {exc}"
+                        )
+                    )
+
+            # Rung 3: one greedy shortest path — always affordable.
+            if not settled:
+                use_rung(RUNG_SHORTEST_PATH)
+                try:
+                    fallback = shortest_path(
+                        self.graph, source, t_out, dist=dist, edge_cost=self._edge_cost
+                    )
+                    if fallback is not None:
+                        collect(source, [fallback])
+                except Exception as exc:
+                    reasons.append(
+                        DegradationReason(
+                            REASON_FAULT, RUNG_SHORTEST_PATH, f"{source}: {exc}"
+                        )
+                    )
+
+        collected.sort(
             key=lambda r: rank_key(self.graph.registry, r.jungloid, self.cost_model)
         )
-        return results[: self.config.max_results]
+        return QueryOutcome(
+            results=tuple(collected[: self.config.max_results]),
+            degraded=bool(reasons),
+            reasons=tuple(reasons),
+            rungs=tuple(rungs_used),
+            elapsed_ms=deadline.elapsed_ms() if deadline is not None else None,
+        )
 
     def solve_from_context(
         self, visible_types: Sequence[JavaType], t_out: JavaType
@@ -125,6 +287,17 @@ class GraphSearch:
         """The completion reduction (Section 1): every visible variable's
         type is a source, plus ``void`` for constructor/static chains."""
         return self.solve_multi(list(visible_types) + [VOID], t_out)
+
+    def solve_from_context_outcome(
+        self,
+        visible_types: Sequence[JavaType],
+        t_out: JavaType,
+        deadline: Optional[Deadline] = None,
+    ) -> QueryOutcome:
+        """Budget-aware variant of :meth:`solve_from_context`."""
+        return self.solve_multi_outcome(
+            list(visible_types) + [VOID], t_out, deadline=deadline
+        )
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -138,6 +311,12 @@ class GraphSearch:
         return None if m >= UNREACHABLE else m
 
     def _distances(self, target: Node) -> Dict[Node, int]:
+        revision = getattr(self.graph, "revision", 0)
+        if revision != self._dist_cache_revision:
+            # The graph grew (e.g. mined paths grafted in); distances
+            # computed against the old edge set are stale.
+            self._dist_cache.clear()
+            self._dist_cache_revision = revision
         cached = self._dist_cache.get(target)
         if cached is None:
             cached = distances_to(self.graph, target, edge_cost=self._edge_cost)
@@ -146,7 +325,12 @@ class GraphSearch:
 
     def with_config(self, **overrides) -> "GraphSearch":
         """A copy of this search with config fields overridden."""
-        return GraphSearch(self.graph, self.cost_model, replace(self.config, **overrides))
+        return GraphSearch(
+            self.graph,
+            self.cost_model,
+            replace(self.config, **overrides),
+            clock=self.clock,
+        )
 
 
 def _unique(items: Iterable[JavaType]) -> List[JavaType]:

@@ -25,15 +25,39 @@ costs about the same as one query.
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..graph import Edge, Node, SignatureGraph
+from ..robustness import Deadline
 
 #: Effectively-infinite distance for unreachable nodes.
 UNREACHABLE = 1 << 30
 
 #: An edge-cost function; the default charges 1 per non-widening edge.
 EdgeCost = Callable[[Edge], int]
+
+
+@dataclass
+class EnumerationReport:
+    """How an :func:`enumerate_paths` run ended (filled in by the callee).
+
+    Generators cannot return status alongside yielded values, so callers
+    that need to know *why* enumeration stopped pass one of these in.
+    """
+
+    #: Paths actually yielded.
+    produced: int = 0
+    #: Node expansions performed by the DFS.
+    expansions: int = 0
+    #: True when a deadline cut the enumeration short (results partial).
+    deadline_expired: bool = False
+    #: True when the ``max_paths`` cap stopped the enumeration.
+    path_cap_hit: bool = False
+
+    @property
+    def truncated(self) -> bool:
+        return self.deadline_expired or self.path_cap_hit
 
 
 def unit_cost(edge: Edge) -> int:
@@ -85,14 +109,27 @@ def enumerate_paths(
     dist: Optional[Dict[Node, int]] = None,
     max_paths: int = 10000,
     edge_cost: EdgeCost = unit_cost,
+    deadline: Optional[Deadline] = None,
+    report: Optional[EnumerationReport] = None,
+    check_every: int = 128,
 ) -> Iterator[Tuple[Edge, ...]]:
     """Yield every acyclic path from ``source`` to ``target`` with cost
     ≤ ``max_cost``, up to ``max_paths``.
 
     Paths are produced in a deterministic order (edge insertion order at
     each node); ranking happens downstream.
+
+    When ``deadline`` is given it is polled every ``check_every`` node
+    expansions; on expiry the generator stops cleanly with whatever it
+    has yielded so far and marks ``report.deadline_expired``. Without a
+    deadline the enumeration is exactly the historical behavior.
     """
+    if report is None:
+        report = EnumerationReport()
     if not graph.has_node(source) or not graph.has_node(target):
+        return
+    if deadline is not None and deadline.expired():
+        report.deadline_expired = True
         return
     if dist is None:
         dist = distances_to(graph, target, edge_cost)
@@ -100,21 +137,35 @@ def enumerate_paths(
         return
 
     produced = 0
+    stopped = False
     path: List[Edge] = []
     on_path = {source}
 
     def dfs(node: Node, cost: int) -> Iterator[Tuple[Edge, ...]]:
-        nonlocal produced
+        nonlocal produced, stopped
         if produced >= max_paths:
+            report.path_cap_hit = True
             return
+        if stopped:
+            return
+        if deadline is not None:
+            report.expansions += 1
+            if report.expansions % check_every == 0 and deadline.expired():
+                report.deadline_expired = True
+                stopped = True
+                return
         if node == target and path:
             produced += 1
+            report.produced = produced
             yield tuple(path)
             # Continuing past the target would require a cycle back to it,
             # which acyclicity forbids; stop here.
             return
         for edge in graph.out_edges(node):
             if produced >= max_paths:
+                report.path_cap_hit = True
+                return
+            if stopped:
                 return
             nxt = edge.target
             if nxt in on_path:
@@ -130,6 +181,47 @@ def enumerate_paths(
             path.pop()
 
     yield from dfs(source, 0)
+
+
+def shortest_path(
+    graph: SignatureGraph,
+    source: Node,
+    target: Node,
+    dist: Optional[Dict[Node, int]] = None,
+    edge_cost: EdgeCost = unit_cost,
+) -> Optional[Tuple[Edge, ...]]:
+    """One cheapest path from ``source`` to ``target``, or ``None``.
+
+    Reconstructed greedily from the backward distance map: at each node
+    follow the first edge that lies on *some* cheapest path (its cost
+    plus the remaining distance equals the node's distance). Runs in
+    O(path length × out-degree) — this is the degradation ladder's
+    always-affordable bottom rung.
+    """
+    if not graph.has_node(source) or not graph.has_node(target):
+        return None
+    if dist is None:
+        dist = distances_to(graph, target, edge_cost)
+    if dist.get(source, UNREACHABLE) >= UNREACHABLE:
+        return None
+    node = source
+    path: List[Edge] = []
+    visited = {source}
+    while node != target:
+        here = dist.get(node, UNREACHABLE)
+        for edge in graph.out_edges(node):
+            if edge.target in visited:
+                continue
+            if edge_cost(edge) + dist.get(edge.target, UNREACHABLE) == here:
+                path.append(edge)
+                node = edge.target
+                visited.add(node)
+                break
+        else:
+            # Every optimal edge loops back (possible only through
+            # zero-cost widening cycles); give up rather than spin.
+            return None
+    return tuple(path) if path else None
 
 
 def count_paths(

@@ -144,3 +144,102 @@ class TestCustomData:
         )
         assert code == 0
         assert "(z.B) x.get()" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    def test_unknown_type_is_input_error(self, capsys):
+        code = main(["query", "no.such.Type", "BufferedReader"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error:")
+        assert "no.such.Type" in captured.err
+
+    def test_missing_api_file_is_input_error(self, capsys):
+        code = main(["query", "A", "B", "--api", "/nonexistent/mini.api"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+    def test_missing_corpus_file_is_input_error(self, capsys):
+        code = main(["query", "InputStream", "BufferedReader", "--corpus", "/nonexistent/client.mj"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "/nonexistent/client.mj" in captured.err
+
+    def test_malformed_corpus_is_clean_input_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.mj"
+        bad.write_text("package c; class ??? {")
+        code = main(["query", "InputStream", "BufferedReader", "--corpus", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error:")
+
+    def test_degraded_query_exits_3_with_answer(self, capsys):
+        code = main(
+            [
+                "query",
+                "InputStream",
+                "BufferedReader",
+                "--time-budget-ms",
+                "0.0001",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "warning: degraded answer" in captured.err
+        assert "#1  new java.io.BufferedReader(new java.io.InputStreamReader(x))" in captured.out
+
+    def test_generous_budget_exits_0(self, capsys):
+        code = main(
+            ["query", "InputStream", "BufferedReader", "--time-budget-ms", "60000"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.err == ""
+        assert "#1" in captured.out
+
+
+class TestLenientCorpusFlag:
+    def _api(self, tmp_path):
+        api = tmp_path / "mini.api"
+        api.write_text(
+            "package java.lang; public class String {}\n"
+            "package z; public class A { public Object get(); } public class B {}\n"
+        )
+        return api
+
+    def test_lenient_flag_quarantines_and_answers(self, tmp_path, capsys):
+        api = self._api(tmp_path)
+        good = tmp_path / "client.mj"
+        good.write_text(
+            "package c; import z.A; import z.B;\n"
+            "class K { B f(A a) { return (B) a.get(); } }\n"
+        )
+        bad = tmp_path / "broken.mj"
+        bad.write_text("package c; class ??? {")
+        code = main(
+            [
+                "query",
+                "z.A",
+                "z.B",
+                "--api",
+                str(api),
+                "--corpus",
+                str(good),
+                "--corpus",
+                str(bad),
+                "--lenient-corpus",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "(z.B) x.get()" in captured.out
+        assert "corpus degraded" in captured.err
+        assert "broken.mj" in captured.err
+
+    def test_without_flag_same_corpus_aborts(self, tmp_path, capsys):
+        api = self._api(tmp_path)
+        bad = tmp_path / "broken.mj"
+        bad.write_text("package c; class ??? {")
+        code = main(["query", "z.A", "z.B", "--api", str(api), "--corpus", str(bad)])
+        assert code == 2

@@ -1,0 +1,94 @@
+"""Tests for the Deadline/Budget abstraction and the injectable clock."""
+
+from repro.robustness import Budget, Deadline, ManualClock
+
+
+class TestManualClock:
+    def test_starts_where_told(self):
+        clock = ManualClock(start=5.0)
+        assert clock() == 5.0
+
+    def test_advance_moves_time(self):
+        clock = ManualClock()
+        assert clock() == 0.0
+        clock.advance(2.5)
+        assert clock() == 2.5
+
+    def test_tick_advances_per_reading(self):
+        clock = ManualClock(tick=0.1)
+        assert clock() == 0.0
+        assert clock() == 0.1
+        assert abs(clock() - 0.2) < 1e-12
+        assert clock.readings == 3
+
+    def test_now_does_not_consume_a_reading(self):
+        clock = ManualClock(tick=1.0)
+        assert clock.now == 0.0
+        assert clock.now == 0.0
+        assert clock.readings == 0
+
+
+class TestDeadline:
+    def test_not_expired_before_budget(self):
+        clock = ManualClock()
+        deadline = Deadline.after(100.0, clock)
+        assert not deadline.expired()
+        assert deadline.remaining_ms() == 100.0
+
+    def test_expired_after_budget(self):
+        clock = ManualClock()
+        deadline = Deadline.after(100.0, clock)
+        clock.advance(0.2)  # 200 ms
+        assert deadline.expired()
+        assert deadline.remaining_ms() == 0.0
+
+    def test_expired_at_exact_boundary(self):
+        clock = ManualClock()
+        deadline = Deadline.after(50.0, clock)
+        clock.advance(0.05)
+        assert deadline.expired()
+
+    def test_elapsed_and_budget(self):
+        clock = ManualClock()
+        deadline = Deadline.after(80.0, clock)
+        clock.advance(0.03)
+        assert abs(deadline.elapsed_ms() - 30.0) < 1e-9
+        assert abs(deadline.budget_ms - 80.0) < 1e-9
+
+    def test_fraction_sub_deadline(self):
+        clock = ManualClock()
+        deadline = Deadline.after(100.0, clock)
+        half = deadline.fraction(0.5)
+        assert half.started_at == deadline.started_at
+        clock.advance(0.06)  # 60 ms in
+        assert half.expired()
+        assert not deadline.expired()
+
+    def test_fraction_one_is_identity(self):
+        clock = ManualClock()
+        deadline = Deadline.after(100.0, clock)
+        assert deadline.fraction(1.0) is deadline
+
+    def test_tick_clock_drives_expiry_without_cooperation(self):
+        # Each reading advances 10 ms; a 1 ms deadline expires on the
+        # first poll after creation. This is the pattern the search
+        # degradation tests rely on.
+        clock = ManualClock(tick=0.010)
+        deadline = Deadline.after(1.0, clock)
+        assert deadline.expired()
+
+
+class TestBudget:
+    def test_unlimited_budget_mints_no_deadline(self):
+        budget = Budget()
+        assert budget.unlimited
+        assert budget.start() is None
+
+    def test_budget_mints_fresh_deadlines(self):
+        clock = ManualClock()
+        budget = Budget(time_budget_ms=10.0, clock=clock)
+        first = budget.start()
+        clock.advance(0.02)
+        assert first is not None and first.expired()
+        second = budget.start()
+        assert second is not None and not second.expired()
