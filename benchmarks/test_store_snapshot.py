@@ -1,0 +1,41 @@
+"""Cold-start benchmark: snapshot fast-start vs rebuild-from-corpus.
+
+The paper loads its 8 MB persisted graph in 1.5 s precisely so the tool
+never pays mining cost at startup. This benchmark tracks our version of
+that trade: loading an atomic checksummed snapshot (read + SHA-256 +
+parse + graph splice) against a full rebuild (parse stubs, parse corpus,
+backward-slice, generalize, splice). The numbers land in
+``benchmarks/out/BENCH_store.json`` so the perf trajectory starts
+tracking cold-start cost.
+"""
+
+from __future__ import annotations
+
+import json
+
+from conftest import OUT_DIR
+
+from repro import Prospector
+from repro.data import standard_corpus, standard_registry
+from repro.eval import run_store_perf, write_bench_store
+
+
+def test_store_cold_start(prospector, out_dir, tmp_path):
+    def rebuild():
+        registry = standard_registry()
+        return Prospector(registry, standard_corpus(registry))
+
+    report = run_store_perf(
+        prospector, rebuild, tmp_path / "graph.psnap", repeats=3
+    )
+    write_bench_store(report, out_dir / "BENCH_store.json")
+
+    recorded = json.loads((OUT_DIR / "BENCH_store.json").read_text())
+    assert recorded["snapshot_bytes"] > 10_000
+
+    # The whole point of persisting: restarting from the snapshot must be
+    # cheaper than re-mining the corpus. (The margin is large — mining
+    # does backward slicing per downcast — so this is not flaky.)
+    assert report.snapshot_load_seconds < report.rebuild_seconds
+    # The paper's absolute bound for its load path.
+    assert report.snapshot_load_seconds < 1.5

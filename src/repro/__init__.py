@@ -22,6 +22,7 @@ Subpackages:
 * :mod:`repro.mining` -- backward slicing, extraction, generalization
 * :mod:`repro.corpus` -- corpus loading
 * :mod:`repro.robustness` -- deadlines, degradation, fault isolation
+* :mod:`repro.store` -- durable snapshots: atomic persistence, recovery
 * :mod:`repro.core` -- the PROSPECTOR facade
 * :mod:`repro.data` -- bundled J2SE/Eclipse stubs and corpus programs
 * :mod:`repro.eval` -- the paper's experiments (Table 1, Figure 8, ...)
@@ -38,8 +39,9 @@ from .core import (
     complete_free_variables,
 )
 from .robustness import Budget, Deadline, ManualClock, QueryOutcome
+from .store import SnapshotStore, StoreDiagnostics
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Budget",
@@ -51,6 +53,8 @@ __all__ = [
     "ProspectorConfig",
     "Query",
     "QueryOutcome",
+    "SnapshotStore",
+    "StoreDiagnostics",
     "Synthesis",
     "VisibleVariable",
     "complete_free_variables",

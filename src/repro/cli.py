@@ -9,7 +9,11 @@ Examples::
     python -m repro mine
     python -m repro userstudy --seed 7
     python -m repro stats
-    python -m repro dump-bundle graph.json
+    python -m repro dump-bundle -o graph.json
+    python -m repro index build -o graph.psnap
+    python -m repro index verify graph.psnap
+    python -m repro index repair graph.psnap
+    python -m repro query InputStream BufferedReader --snapshot graph.psnap
 
 By default the bundled J2SE/Eclipse stubs and corpus are loaded; pass
 ``--api FILE`` / ``--corpus FILE`` (repeatable) to run against your own
@@ -27,8 +31,18 @@ from .core import CursorContext, Prospector
 from .corpus import CorpusLoadError, load_corpus_files
 from .data import standard_corpus, standard_registry
 from .eval import classify_stuck_cases, run_prototype_test, run_table1, simulate_user_study
-from .graph import bundle_to_json, graph_stats
+from .graph import BundleFormatError, bundle_to_json, graph_stats
 from .minijava import MiniJavaError
+from .store import (
+    RUNG_CURRENT,
+    SnapshotError,
+    SnapshotStore,
+    StoreRecoveryError,
+    atomic_write_text,
+    load_with_recovery,
+    repair as repair_snapshot,
+    verify_snapshot,
+)
 from .typesystem import TypeSystemError
 
 #: Exit codes: distinct outcomes must be distinguishable by scripts.
@@ -38,7 +52,8 @@ EXIT_INPUT_ERROR = 2
 EXIT_DEGRADED = 3
 
 
-def _build_prospector(args: argparse.Namespace) -> Prospector:
+def _build_prospector_from_data(args: argparse.Namespace) -> Prospector:
+    """Build from stubs + corpus files (the non-snapshot path)."""
     lenient = bool(getattr(args, "lenient_corpus", False))
     if getattr(args, "api", None):
         registry = load_api_files(args.api)
@@ -58,6 +73,22 @@ def _build_prospector(args: argparse.Namespace) -> Prospector:
     prospector = Prospector(registry, corpus)
     diagnostics = prospector.corpus_diagnostics
     if diagnostics is not None and not diagnostics.ok:
+        print(diagnostics.summary(), file=sys.stderr)
+    return prospector
+
+
+def _build_prospector(args: argparse.Namespace) -> Prospector:
+    snapshot = getattr(args, "snapshot", None)
+    if not snapshot:
+        return _build_prospector_from_data(args)
+
+    def _rebuild():
+        rebuilt = _build_prospector_from_data(args)
+        return rebuilt.registry, rebuilt.mined_jungloids
+
+    prospector = Prospector.from_snapshot(snapshot, rebuild=_rebuild)
+    diagnostics = prospector.store_diagnostics
+    if diagnostics is not None and diagnostics.degraded:
         print(diagnostics.summary(), file=sys.stderr)
     return prospector
 
@@ -186,16 +217,64 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_dump_bundle(args: argparse.Namespace) -> int:
+    if args.output and args.path != "-":
+        print("error: give either a positional path or -o/--output, not both", file=sys.stderr)
+        return EXIT_INPUT_ERROR
+    path = args.output or args.path
     prospector = _build_prospector(args)
-    mined = prospector.mining.suffixes if prospector.mining is not None else []
-    text = bundle_to_json(prospector.registry, mined, indent=2 if args.pretty else None)
-    if args.path == "-":
+    text = bundle_to_json(
+        prospector.registry,
+        prospector.mined_jungloids,
+        indent=2 if args.pretty else None,
+    )
+    if path == "-":
         print(text)
     else:
-        with open(args.path, "w", encoding="utf-8") as handle:
-            handle.write(text)
-        print(f"wrote {len(text)} bytes to {args.path}")
-    return 0
+        atomic_write_text(path, text)
+        print(f"wrote {len(text)} bytes to {path}")
+    return EXIT_OK
+
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    prospector = _build_prospector_from_data(args)
+    manifest = prospector.save_snapshot(args.output)
+    print(
+        f"wrote snapshot {args.output}: {manifest.payload_bytes} payload bytes,"
+        f" {manifest.type_count} types, {manifest.mined_count} mined,"
+        f" {manifest.node_count} nodes, {manifest.edge_count} edges"
+    )
+    return EXIT_OK
+
+
+def _cmd_index_verify(args: argparse.Namespace) -> int:
+    store = SnapshotStore(args.path)
+    diagnostics = verify_snapshot(store)
+    print(diagnostics.summary(), file=sys.stderr if diagnostics.faults else sys.stdout)
+    if store.exists("previous"):
+        prev = verify_snapshot(store, which="previous")
+        status = "sound" if not prev.faults else "damaged"
+        print(f"previous generation ({store.previous_path}): {status}")
+    return EXIT_OK if not diagnostics.faults else EXIT_INPUT_ERROR
+
+
+def _cmd_index_repair(args: argparse.Namespace) -> int:
+    store = SnapshotStore(args.path)
+
+    def _rebuild():
+        rebuilt = _build_prospector_from_data(args)
+        return rebuilt.registry, rebuilt.mined_jungloids
+
+    try:
+        recovered = repair_snapshot(store, rebuild=_rebuild)
+    except StoreRecoveryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INPUT_ERROR
+    if recovered.rung_used == RUNG_CURRENT:
+        print(f"{args.path}: already sound, nothing to repair")
+    else:
+        print(recovered.diagnostics.summary(), file=sys.stderr)
+        print(f"{args.path}: rewritten from {recovered.rung_used}")
+    return EXIT_OK
 
 
 def _add_data_options(parser: argparse.ArgumentParser) -> None:
@@ -206,6 +285,16 @@ def _add_data_options(parser: argparse.ArgumentParser) -> None:
         "--lenient-corpus",
         action="store_true",
         help="quarantine malformed corpus files and mine the rest instead of aborting",
+    )
+
+
+def _add_snapshot_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--snapshot",
+        metavar="FILE",
+        default=None,
+        help="fast-start from this snapshot; on damage recover via"
+        " previous generation or corpus rebuild",
     )
 
 
@@ -235,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--statements", action="store_true", help="also print insertable statements")
     _add_data_options(q)
     _add_budget_option(q)
+    _add_snapshot_option(q)
     q.set_defaults(func=_cmd_query)
 
     c = sub.add_parser("complete", help="content-assist: infer queries from context")
@@ -244,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--top", type=int, default=5)
     _add_data_options(c)
     _add_budget_option(c)
+    _add_snapshot_option(c)
     c.set_defaults(func=_cmd_complete)
 
     t = sub.add_parser("table1", help="run the Table-1 query-processing experiment")
@@ -266,11 +357,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_data_options(s)
     s.set_defaults(func=_cmd_stats)
 
-    d = sub.add_parser("dump-bundle", help="serialize the graph bundle to JSON")
-    d.add_argument("path", help="output path, or - for stdout")
+    d = sub.add_parser(
+        "dump-bundle",
+        help="serialize the raw graph bundle to JSON"
+        " (see `index build` for checksummed snapshots)",
+    )
+    d.add_argument("path", nargs="?", default="-", help="output path, or - for stdout")
+    d.add_argument(
+        "-o", "--output", metavar="FILE", default=None,
+        help="write atomically to FILE instead of stdout",
+    )
     d.add_argument("--pretty", action="store_true")
     _add_data_options(d)
     d.set_defaults(func=_cmd_dump_bundle)
+
+    ix = sub.add_parser("index", help="manage durable graph snapshots")
+    ix_sub = ix.add_subparsers(dest="index_command", required=True)
+
+    ib = ix_sub.add_parser(
+        "build", help="mine, build, and atomically persist a checksummed snapshot"
+    )
+    ib.add_argument("-o", "--output", metavar="FILE", required=True)
+    _add_data_options(ib)
+    ib.set_defaults(func=_cmd_index_build)
+
+    iv = ix_sub.add_parser(
+        "verify", help="check a snapshot's checksum, schema, and integrity"
+    )
+    iv.add_argument("path", help="snapshot file to verify")
+    iv.set_defaults(func=_cmd_index_verify)
+
+    ir = ix_sub.add_parser(
+        "repair",
+        help="restore a damaged snapshot from its previous generation"
+        " or by rebuilding from the corpus",
+    )
+    ir.add_argument("path", help="snapshot file to repair")
+    _add_data_options(ir)
+    ir.set_defaults(func=_cmd_index_repair)
 
     return parser
 
@@ -283,6 +407,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Loader / parser problems are input errors, not crashes: report
         # cleanly and use the dedicated exit code.
         print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INPUT_ERROR
+    except BundleFormatError as exc:
+        # Malformed bundle: one line naming the offending key/offset.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INPUT_ERROR
+    except (SnapshotError, StoreRecoveryError) as exc:
+        first_line = str(exc).splitlines()[0] if str(exc) else "snapshot failure"
+        print(f"error: {first_line}", file=sys.stderr)
         return EXIT_INPUT_ERROR
     except (KeyError, ValueError) as exc:
         # e.g. unknown/ambiguous type names from resolve_type_spec.

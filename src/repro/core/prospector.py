@@ -8,13 +8,14 @@ engine, :meth:`complete` is the content-assist integration.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..corpus import CorpusProgram, load_corpus_texts
 from ..graph import JungloidGraph, graph_stats
-from ..jungloids import CostModel, DEFAULT_COST_MODEL
+from ..jungloids import CostModel, DEFAULT_COST_MODEL, Jungloid
 from ..mining import (
     ArgumentExample,
     ArgumentMiner,
@@ -30,6 +31,13 @@ from ..robustness import (
     SYSTEM_CLOCK,
 )
 from ..search import GraphSearch, SearchConfig, representatives
+from ..store import (
+    RecoveredStore,
+    SnapshotManifest,
+    SnapshotStore,
+    StoreDiagnostics,
+    load_with_recovery,
+)
 from ..typesystem import Method, TypeRegistry, VOID
 from .context import CursorContext
 from .query import Query, TypeSpec, resolve_type_spec
@@ -58,24 +66,35 @@ class Prospector:
         corpus: Optional[CorpusProgram] = None,
         config: ProspectorConfig = ProspectorConfig(),
         clock: Clock = SYSTEM_CLOCK,
+        mined: Optional[Sequence[Jungloid]] = None,
+        store_diagnostics: Optional[StoreDiagnostics] = None,
     ):
         self.registry = registry
         self.config = config
         self.corpus = corpus
         self.clock = clock
-        if corpus is not None:
-            self.mining: Optional[MiningResult] = mine_corpus(
+        #: Recovery report when this instance came from a snapshot load.
+        self.store_diagnostics = store_diagnostics
+        if mined is not None:
+            # Pre-mined jungloids (snapshot fast-start): skip extraction.
+            self.mining: Optional[MiningResult] = None
+            mined_list = list(mined)
+        elif corpus is not None:
+            self.mining = mine_corpus(
                 corpus.registry,
                 corpus.units,
                 corpus.corpus_types,
                 config=config.extraction,
             )
-            mined = self.mining.suffixes
+            mined_list = list(self.mining.suffixes)
         else:
             self.mining = None
-            mined = []
+            mined_list = []
+        #: The mined jungloids the graph was spliced with — what a
+        #: snapshot persists alongside the registry.
+        self.mined_jungloids: Tuple[Jungloid, ...] = tuple(mined_list)
         self.graph = JungloidGraph.build(
-            registry, mined, public_only=config.public_only
+            registry, mined_list, public_only=config.public_only
         )
         self.search = GraphSearch(
             self.graph, cost_model=config.cost_model, config=config.search, clock=clock
@@ -99,6 +118,57 @@ class Prospector:
         corpus_list = list(corpus_texts)
         corpus = load_corpus_texts(registry, corpus_list) if corpus_list else None
         return cls(registry, corpus, config)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        path: os.PathLike,
+        config: ProspectorConfig = ProspectorConfig(),
+        clock: Clock = SYSTEM_CLOCK,
+        rebuild: Optional[
+            Callable[[], Tuple[TypeRegistry, Sequence[Jungloid]]]
+        ] = None,
+        max_rebuild_attempts: int = 3,
+        backoff_ms: float = 50.0,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> "Prospector":
+        """Fast-start from a persisted snapshot, surviving damage.
+
+        Loads via the store's recovery ladder (current snapshot →
+        previous generation → ``rebuild()`` with bounded retry); the
+        rung taken and every fault en route are available afterwards on
+        :attr:`store_diagnostics`. Raises
+        :class:`~repro.store.StoreRecoveryError` only if every rung
+        fails.
+        """
+        store = SnapshotStore(path)
+        recovered: RecoveredStore = load_with_recovery(
+            store,
+            rebuild=rebuild,
+            max_rebuild_attempts=max_rebuild_attempts,
+            backoff_ms=backoff_ms,
+            sleep=sleep,
+        )
+        return cls(
+            recovered.registry,
+            None,
+            config,
+            clock,
+            mined=recovered.mined,
+            store_diagnostics=recovered.diagnostics,
+        )
+
+    def save_snapshot(self, path: os.PathLike, rotate: bool = True) -> SnapshotManifest:
+        """Persist the registry + mined jungloids atomically (with
+        checksum manifest and a retained previous generation)."""
+        store = SnapshotStore(path)
+        return store.save(
+            self.registry,
+            self.mined_jungloids,
+            graph=self.graph,
+            public_only=self.config.public_only,
+            rotate=rotate,
+        )
 
     # ------------------------------------------------------------------
     # Queries

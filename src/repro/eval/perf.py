@@ -12,13 +12,16 @@ are what the benchmark asserts.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 import tracemalloc
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core import Prospector
-from ..graph import bundle_to_json, load_graph_from_json
+from ..graph import JungloidGraph, bundle_to_json, load_graph_from_json
+from ..store import SnapshotStore, atomic_write_text
 from .problems import TABLE1_PROBLEMS, Table1Problem
 
 
@@ -64,8 +67,7 @@ class PerfReport:
 
 def measure_bundle(prospector: Prospector) -> Tuple[str, int]:
     """Serialize the registry + mined jungloids; return (json, size)."""
-    mined = prospector.mining.suffixes if prospector.mining is not None else []
-    text = bundle_to_json(prospector.registry, mined)
+    text = bundle_to_json(prospector.registry, prospector.mined_jungloids)
     return text, len(text.encode("utf-8"))
 
 
@@ -112,3 +114,110 @@ def run_perf(
     report.build_peak_bytes = measure_build_memory(build)
     report.query_seconds = measure_queries(prospector, problems)
     return report
+
+
+# ----------------------------------------------------------------------
+# Cold-start: snapshot fast-start vs rebuild-from-corpus
+# ----------------------------------------------------------------------
+
+@dataclass
+class StorePerfReport:
+    """Cold-start cost with and without the durable snapshot store.
+
+    ``snapshot_load_seconds`` times the full trusted path — read,
+    checksum, parse, graph rebuild (no audit; the verify path is timed
+    separately as ``verified_load_seconds``) — and
+    ``rebuild_seconds`` times the corpus path (parse stubs + mine +
+    build). Their ratio is the cold-start speedup the snapshot buys a
+    restarting service.
+    """
+
+    snapshot_bytes: int = 0
+    snapshot_load_seconds: float = 0.0
+    verified_load_seconds: float = 0.0
+    rebuild_seconds: float = 0.0
+
+    @property
+    def speedup(self) -> float:
+        if self.snapshot_load_seconds <= 0:
+            return 0.0
+        return self.rebuild_seconds / self.snapshot_load_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "snapshot_bytes": self.snapshot_bytes,
+            "snapshot_load_seconds": self.snapshot_load_seconds,
+            "verified_load_seconds": self.verified_load_seconds,
+            "rebuild_seconds": self.rebuild_seconds,
+            "speedup": self.speedup,
+        }
+
+    def format_report(self) -> str:
+        return "\n".join(
+            [
+                f"snapshot: {self.snapshot_bytes / 1024:.1f} KiB on disk",
+                f"snapshot load (checksum + parse + graph): "
+                f"{self.snapshot_load_seconds * 1000:.1f} ms",
+                f"verified load (adds integrity audit): "
+                f"{self.verified_load_seconds * 1000:.1f} ms",
+                f"rebuild from corpus (parse + mine + graph): "
+                f"{self.rebuild_seconds * 1000:.1f} ms",
+                f"cold-start speedup: {self.speedup:.1f}x",
+            ]
+        )
+
+
+def measure_snapshot_load(
+    path: os.PathLike, repeats: int = 3, audit: bool = False
+) -> float:
+    """Best-of-N seconds to go from snapshot bytes to a query-ready graph."""
+    store = SnapshotStore(path)
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        loaded = store.load(audit=audit)
+        public_only = loaded.manifest.public_only if loaded.manifest else True
+        JungloidGraph.build(loaded.registry, loaded.mined, public_only=public_only)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_rebuild(rebuild: Callable[[], object], repeats: int = 1) -> float:
+    """Best-of-N seconds for the no-snapshot cold start."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        rebuild()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_store_perf(
+    prospector: Prospector,
+    rebuild: Callable[[], object],
+    snapshot_path: os.PathLike,
+    repeats: int = 3,
+) -> StorePerfReport:
+    """Measure snapshot-load vs rebuild-from-corpus cold-start cost.
+
+    Saves a snapshot of ``prospector`` at ``snapshot_path`` (so the
+    measured load is of exactly the graph being served), then times both
+    restart paths.
+    """
+    prospector.save_snapshot(snapshot_path)
+    report = StorePerfReport()
+    report.snapshot_bytes = os.path.getsize(snapshot_path)
+    report.snapshot_load_seconds = measure_snapshot_load(
+        snapshot_path, repeats=repeats, audit=False
+    )
+    report.verified_load_seconds = measure_snapshot_load(
+        snapshot_path, repeats=repeats, audit=True
+    )
+    report.rebuild_seconds = measure_rebuild(rebuild)
+    return report
+
+
+def write_bench_store(report: StorePerfReport, path: os.PathLike) -> None:
+    """Emit the cold-start numbers as ``BENCH_store.json`` (atomically,
+    with the store's own write helper)."""
+    atomic_write_text(path, json.dumps(report.to_dict(), indent=2) + "\n")

@@ -4,6 +4,7 @@ from .dot import path_dot, subgraph_dot
 from .jungloid_graph import JungloidGraph
 from .nodes import Edge, Node, TypestateNode, node_base_type, node_label
 from .serialize import (
+    BundleFormatError,
     bundle_from_json,
     bundle_to_json,
     elementary_from_dict,
@@ -20,6 +21,7 @@ from .signature_graph import SignatureGraph
 from .stats import GraphStats, graph_stats
 
 __all__ = [
+    "BundleFormatError",
     "Edge",
     "GraphStats",
     "JungloidGraph",

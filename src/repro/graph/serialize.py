@@ -41,6 +41,25 @@ from ..typesystem import (
 from .jungloid_graph import JungloidGraph
 
 
+class BundleFormatError(ValueError):
+    """A bundle failed to parse: malformed JSON or a missing/bad key.
+
+    Carries the offending ``key`` or byte ``offset`` when known, so
+    callers (CLI exit code 2, snapshot diagnostics) can say *where* a
+    bundle is broken instead of leaking a raw ``KeyError``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        key: Optional[str] = None,
+        offset: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.key = key
+        self.offset = offset
+
+
 # ----------------------------------------------------------------------
 # Type strings
 # ----------------------------------------------------------------------
@@ -279,11 +298,31 @@ def bundle_to_json(
 
 
 def bundle_from_json(text: str) -> Tuple[TypeRegistry, List[Jungloid]]:
-    data = json.loads(text)
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BundleFormatError(
+            f"bundle is not valid JSON at offset {exc.pos}: {exc.msg}",
+            offset=exc.pos,
+        ) from exc
+    if not isinstance(data, dict):
+        raise BundleFormatError(
+            f"bundle must be a JSON object, got {type(data).__name__}"
+        )
     if data.get("format") != "prospector-bundle-v1":
-        raise ValueError(f"unknown bundle format: {data.get('format')!r}")
-    registry = registry_from_dict(data["registry"])
-    mined = [jungloid_from_dict(registry, steps) for steps in data["mined"]]
+        raise BundleFormatError(
+            f"unknown bundle format: {data.get('format')!r}", key="format"
+        )
+    try:
+        registry = registry_from_dict(data["registry"])
+        mined = [jungloid_from_dict(registry, steps) for steps in data["mined"]]
+    except BundleFormatError:
+        raise
+    except KeyError as exc:
+        key = str(exc.args[0]) if exc.args else "?"
+        raise BundleFormatError(f"bundle missing key {key!r}", key=key) from exc
+    except (TypeError, ValueError) as exc:
+        raise BundleFormatError(f"bundle malformed: {exc}") from exc
     return registry, mined
 
 

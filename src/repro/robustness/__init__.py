@@ -25,12 +25,17 @@ from .diagnostics import (
     format_faults,
 )
 from .faults import (
+    ByteMutator,
     CorpusText,
+    FlakyFileSystem,
     FlakyGraph,
     InjectedFault,
     blank_text,
     corrupt_corpus,
+    corrupt_file,
+    flip_byte,
     garble_text,
+    truncate_bytes,
     truncate_text,
 )
 from .outcome import (
@@ -47,10 +52,12 @@ from .outcome import (
 
 __all__ = [
     "Budget",
+    "ByteMutator",
     "Clock",
     "CorpusDiagnostics",
     "CorpusFault",
     "CorpusText",
+    "FlakyFileSystem",
     "DEGRADATION_LADDER",
     "Deadline",
     "DegradationReason",
@@ -72,8 +79,11 @@ __all__ = [
     "SYSTEM_CLOCK",
     "blank_text",
     "corrupt_corpus",
+    "corrupt_file",
+    "flip_byte",
     "format_faults",
     "full_outcome",
     "garble_text",
+    "truncate_bytes",
     "truncate_text",
 ]

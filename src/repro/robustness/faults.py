@@ -9,7 +9,12 @@ untested code. These hooks make every failure mode reproducible:
   mid-search crash happens at an exact, repeatable step;
 * the corpus mutators corrupt ``(name, text)`` corpus entries in fixed
   ways (garbled token, truncation) so lenient-loading quarantine paths
-  run against known-bad input.
+  run against known-bad input;
+* the byte mutators (:func:`flip_byte`, :func:`truncate_bytes`,
+  :func:`corrupt_file`) damage snapshot files at exact offsets — the
+  torn-write and bit-flip cases the store's recovery ladder must absorb;
+* :class:`FlakyFileSystem` makes reads fail a fixed number of times, so
+  the previous-generation and rebuild rungs are reachable on demand.
 
 Nothing here is imported by production code paths; the engine and the
 loaders see only the ordinary graph / corpus interfaces.
@@ -17,6 +22,8 @@ loaders see only the ordinary graph / corpus interfaces.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
 from typing import Callable, Iterable, List, Sequence, Tuple
 
 
@@ -79,6 +86,59 @@ def truncate_text(text: str, keep_fraction: float = 0.5) -> str:
 def blank_text(text: str) -> str:
     """Replace the file with whitespace (parses to an empty unit or fails)."""
     return " \n"
+
+
+# ----------------------------------------------------------------------
+# Byte-level injectors for the snapshot store
+# ----------------------------------------------------------------------
+
+#: A bytes mutator used by :func:`corrupt_file`.
+ByteMutator = Callable[[bytes], bytes]
+
+
+def flip_byte(data: bytes, offset: int) -> bytes:
+    """XOR one byte with 0xFF — the single-bit-rot / bad-sector shape.
+
+    ``offset`` may be negative or past the end; it wraps modulo the
+    length so tests can sweep arbitrary offsets without bounds math.
+    """
+    if not data:
+        raise ValueError("flip_byte: cannot corrupt empty data")
+    offset %= len(data)
+    return data[:offset] + bytes([data[offset] ^ 0xFF]) + data[offset + 1 :]
+
+
+def truncate_bytes(data: bytes, keep: int) -> bytes:
+    """Keep only the first ``keep`` bytes — the torn-write shape."""
+    if keep < 0:
+        raise ValueError("truncate_bytes: keep must be non-negative")
+    return data[:keep]
+
+
+def corrupt_file(path: os.PathLike, mutator: ByteMutator) -> None:
+    """Damage a file in place (deliberately *not* atomically)."""
+    p = Path(path)
+    p.write_bytes(mutator(p.read_bytes()))
+
+
+class FlakyFileSystem:
+    """A ``read_bytes(path)`` that fails the first ``fail_times`` calls.
+
+    Stands in for :class:`~repro.store.SnapshotStore`'s injectable
+    reader, so transient I/O faults (NFS hiccup, evicted page) happen at
+    an exact, repeatable call. Raises ``OSError`` — the same class real
+    filesystems raise — so no production code special-cases the fake.
+    """
+
+    def __init__(self, fail_times: int):
+        self.fail_times = int(fail_times)
+        self.calls = 0
+
+    def read_bytes(self, path: os.PathLike) -> bytes:
+        self.calls += 1
+        if self.calls <= self.fail_times:
+            raise OSError(f"injected filesystem fault (read #{self.calls})")
+        return Path(path).read_bytes()
 
 
 def corrupt_corpus(

@@ -18,7 +18,7 @@ from repro.graph import (
     type_from_string,
     type_to_string,
 )
-from repro.jungloids import Jungloid, downcast, instance_call, widening
+from repro.jungloids import Jungloid, ElementaryKind, downcast, instance_call, widening
 from repro.typesystem import ArrayType, PRIMITIVES, VOID, named
 
 API = """
@@ -129,6 +129,95 @@ class TestJungloidRoundtrip:
         }
         with pytest.raises(ValueError):
             elementary_from_dict(r, entry)
+
+
+class TestEveryKindRoundtrip:
+    """Satellite coverage: one serialize round-trip per ElementaryKind,
+    plus array-typed members and mined multi-step jungloids, so a
+    snapshot can never silently drop a step shape."""
+
+    def _registry(self):
+        return load_api_text(API)
+
+    def _one_of_each(self, r):
+        from repro.jungloids import constructor_call, field_access, static_call
+
+        base = r.lookup("s.Base")
+        leaf = r.lookup("s.Leaf")
+        return {
+            ElementaryKind.FIELD_ACCESS: field_access(r.find_field(base, "twin")),
+            ElementaryKind.STATIC_CALL: static_call(
+                r.find_method(base, "getDefault")[0]
+            )[0],
+            ElementaryKind.CONSTRUCTOR: constructor_call(r.constructors_of(leaf)[0])[0],
+            ElementaryKind.INSTANCE_CALL: instance_call(
+                r.find_method(base, "label")[0]
+            )[0],
+            ElementaryKind.WIDENING: widening(named("s.Leaf"), named("s.Base")),
+            ElementaryKind.DOWNCAST: downcast(named("s.Base"), named("s.Leaf")),
+        }
+
+    @pytest.mark.parametrize("kind", list(ElementaryKind))
+    def test_kind_roundtrips(self, kind):
+        r = self._registry()
+        e = self._one_of_each(r)[kind]
+        entry = elementary_to_dict(e)
+        assert entry["kind"] == kind.value
+        restored = elementary_from_dict(r, entry)
+        assert restored == e
+        assert restored.kind is kind
+
+    def test_array_returning_method_roundtrips(self):
+        r = self._registry()
+        m = r.find_method(r.lookup("s.Leaf"), "children")[0]
+        e = instance_call(m)[0]
+        restored = elementary_from_dict(r, elementary_to_dict(e))
+        assert restored == e
+        assert isinstance(restored.output_type, ArrayType)
+        assert type_to_string(restored.output_type) == "s.Leaf[]"
+
+    def test_array_widening_roundtrips(self):
+        r = self._registry()
+        e = widening(type_from_string("s.Leaf[]"), r.object_type)
+        assert elementary_from_dict(r, elementary_to_dict(e)) == e
+
+    def test_mined_multistep_survives_bundle(self):
+        from repro.jungloids import field_access, static_call
+
+        r = self._registry()
+        base = r.lookup("s.Base")
+        mined = [
+            # static getDefault() -> .twin field -> widen to IThing
+            Jungloid.of(
+                static_call(r.find_method(base, "getDefault")[0])[0],
+                field_access(r.find_field(base, "twin")),
+                widening(named("s.Base"), named("s.IThing")),
+            ),
+            # downcast then instance call
+            Jungloid.of(
+                downcast(named("s.Base"), named("s.Leaf")),
+                instance_call(r.find_method(r.lookup("s.Leaf"), "children")[0])[0],
+            ),
+        ]
+        registry2, mined2 = bundle_from_json(bundle_to_json(r, mined))
+        assert len(mined2) == 2
+        for original, restored in zip(mined, mined2):
+            assert restored.steps == original.steps
+            assert [s.kind for s in restored.steps] == [
+                s.kind for s in original.steps
+            ]
+            assert restored.length == original.length
+
+    def test_every_kind_survives_snapshot(self, tmp_path):
+        """Belt and braces: the same shapes through the durable store."""
+        from repro.store import SnapshotStore
+
+        r = self._registry()
+        mined = [Jungloid.of(e) for e in self._one_of_each(r).values()]
+        store = SnapshotStore(tmp_path / "kinds.psnap")
+        store.save(r, mined)
+        loaded = store.load()
+        assert [j.steps for j in loaded.mined] == [j.steps for j in mined]
 
 
 class TestBundle:
