@@ -14,6 +14,8 @@ Examples::
     python -m repro index verify graph.psnap
     python -m repro index repair graph.psnap
     python -m repro query InputStream BufferedReader --snapshot graph.psnap
+    python -m repro query --batch queries.txt
+    python -m repro bench-search -o benchmarks/out/BENCH_search.json
 
 By default the bundled J2SE/Eclipse stubs and corpus are loaded; pass
 ``--api FILE`` / ``--corpus FILE`` (repeatable) to run against your own
@@ -93,8 +95,58 @@ def _build_prospector(args: argparse.Namespace) -> Prospector:
     return prospector
 
 
+def _read_batch_file(path: str) -> List[tuple]:
+    """Parse a ``--batch`` file: one ``T_IN T_OUT`` query per line.
+
+    Blank lines and ``#`` comments are skipped.
+    """
+    pairs = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'T_IN T_OUT', got {line!r}"
+                )
+            pairs.append((parts[0], parts[1]))
+    return pairs
+
+
+def _cmd_query_batch(args: argparse.Namespace, prospector) -> int:
+    pairs = _read_batch_file(args.batch)
+    if not pairs:
+        print(f"no queries in {args.batch}", file=sys.stderr)
+        return EXIT_INPUT_ERROR
+    outcomes = prospector.query_batch(pairs, time_budget_ms=args.time_budget_ms)
+    any_results = False
+    any_degraded = False
+    for (t_in, t_out), outcome in zip(pairs, outcomes):
+        status = ""
+        if outcome.degraded:
+            any_degraded = True
+            status = f"  [degraded: {outcome.reason}]"
+        print(f"== {t_in} -> {t_out}{status}")
+        if not outcome.results:
+            print("   (no jungloids found)")
+            continue
+        any_results = True
+        for r in list(outcome.results)[: args.top]:
+            print(f"#{r.rank}  {r.inline(args.input_var)}")
+    if any_degraded:
+        return EXIT_DEGRADED
+    return EXIT_OK if any_results else EXIT_NO_RESULTS
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.batch is None and (args.t_in is None or args.t_out is None):
+        print("error: give T_IN and T_OUT, or --batch FILE", file=sys.stderr)
+        return EXIT_INPUT_ERROR
     prospector = _build_prospector(args)
+    if args.batch is not None:
+        return _cmd_query_batch(args, prospector)
     outcome = None
     if args.time_budget_ms is not None:
         outcome = prospector.query_outcome(
@@ -277,6 +329,37 @@ def _cmd_index_repair(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_bench_search(args: argparse.Namespace) -> int:
+    from .eval import run_search_perf, write_bench_search
+
+    prospector = _build_prospector(args)
+    report = run_search_perf(
+        prospector,
+        batch_rounds=args.batch_rounds,
+        repeats=args.repeats,
+        stress_fan_out=args.stress_fan_out,
+    )
+    print(report.format_report())
+    if args.output:
+        write_bench_search(report, args.output)
+        print(f"wrote {args.output}")
+    if not report.identical_results:
+        print(
+            "error: kernel and reference ranked output diverged", file=sys.stderr
+        )
+        return EXIT_INPUT_ERROR
+    if args.min_speedup is not None and (
+        report.single_query_speedup < args.min_speedup
+    ):
+        print(
+            f"error: kernel speedup {report.single_query_speedup:.2f}x"
+            f" below required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return EXIT_NO_RESULTS
+    return EXIT_OK
+
+
 def _add_data_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--api", action="append", metavar="FILE", help="load this .api stub file (repeatable; replaces the bundled stubs)")
     parser.add_argument("--corpus", action="append", metavar="FILE", help="load this .mj corpus file (repeatable)")
@@ -316,8 +399,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     q = sub.add_parser("query", help="answer a jungloid query (t_in, t_out)")
-    q.add_argument("t_in", help="input type (qualified or unique simple name)")
-    q.add_argument("t_out", help="output type")
+    q.add_argument("t_in", nargs="?", default=None, help="input type (qualified or unique simple name)")
+    q.add_argument("t_out", nargs="?", default=None, help="output type")
+    q.add_argument(
+        "--batch",
+        metavar="FILE",
+        default=None,
+        help="answer every 'T_IN T_OUT' line of FILE in one batched call"
+        " (shares per-target search work across the batch)",
+    )
     q.add_argument("--top", type=int, default=5, help="results to show (default 5)")
     q.add_argument("--input-var", default="x", help="name of the input variable")
     q.add_argument("--result-var", default="result", help="name for the result variable")
@@ -370,6 +460,43 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--pretty", action="store_true")
     _add_data_options(d)
     d.set_defaults(func=_cmd_dump_bundle)
+
+    bs = sub.add_parser(
+        "bench-search",
+        help="benchmark the compiled search kernel and batch serving"
+        " (latency percentiles, throughput, kernel-vs-reference speedup)",
+    )
+    bs.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="also write the numbers as JSON (e.g. benchmarks/out/BENCH_search.json)",
+    )
+    bs.add_argument(
+        "--batch-rounds",
+        type=int,
+        default=3,
+        help="copies of the Table-1 set in the batch workload (default 3)",
+    )
+    bs.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats (default 3)"
+    )
+    bs.add_argument(
+        "--stress-fan-out",
+        type=int,
+        default=16,
+        help="fan-out of the synthetic stress graph (default 16)",
+    )
+    bs.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit nonzero when kernel speedup falls below X (CI regression guard)",
+    )
+    _add_data_options(bs)
+    bs.set_defaults(func=_cmd_bench_search)
 
     ix = sub.add_parser("index", help="manage durable graph snapshots")
     ix_sub = ix.add_subparsers(dest="index_command", required=True)

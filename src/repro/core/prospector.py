@@ -204,6 +204,27 @@ class Prospector:
         outcome = self.search.solve_multi_outcome([q.t_in], q.t_out, deadline=deadline)
         return outcome.with_results(self._package(outcome.results))
 
+    def query_batch(
+        self,
+        pairs: Sequence[Tuple[TypeSpec, TypeSpec]],
+        time_budget_ms: Optional[float] = None,
+    ) -> List[QueryOutcome]:
+        """Answer many queries in one call, amortizing shared work.
+
+        The serving layer groups the batch by target so every distinct
+        target pays for a single backward distance map (Section 5's
+        multi-source trick generalized across requests) and memoizes
+        ranking work batch-wide. Outcomes come back in input order, each
+        carrying ranked :class:`Synthesis` results; a fault or deadline
+        on one query degrades only that query's outcome.
+        """
+        resolved = [Query.of(self.registry, a, b) for a, b in pairs]
+        outcomes = self.search.solve_batch(
+            [(q.t_in, q.t_out) for q in resolved],
+            time_budget_ms=time_budget_ms,
+        )
+        return [o.with_results(self._package(o.results)) for o in outcomes]
+
     def timed_query(
         self, t_in: TypeSpec, t_out: TypeSpec
     ) -> Tuple[List[Synthesis], float]:

@@ -112,10 +112,21 @@ class SignatureGraph:
     def revision(self) -> int:
         """Mutation counter; bumps on every edge insertion.
 
-        Distance caches key on this so that grafting mined paths into an
-        already-queried graph invalidates stale shortest-distance maps.
+        Distance caches and compiled kernel snapshots key on this so
+        that grafting mined paths into an already-queried graph
+        invalidates both stale shortest-distance maps and stale CSR
+        adjacency (see :mod:`repro.search.kernel`).
         """
         return self._revision
+
+    def node_order(self) -> Tuple[Node, ...]:
+        """Every node, in insertion order.
+
+        :attr:`nodes` is a set, so its iteration order is hash-driven;
+        the search kernel interns node ids against this stable order so
+        a compiled snapshot is deterministic for a given build sequence.
+        """
+        return tuple(self._out)
 
     def add_elementary(self, elementary: ElementaryJungloid) -> Optional[Edge]:
         """Add a plain edge for an elementary jungloid between type nodes.

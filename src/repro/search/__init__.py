@@ -1,7 +1,17 @@
 """Graph search and the PROSPECTOR ranking heuristic."""
 
+from .cache import DEFAULT_MAX_CACHED_TARGETS, LRUDistanceCache
 from .cluster import Cluster, cluster_results, representatives, type_chain
-from .engine import GraphSearch, SearchConfig, SearchResult
+from .engine import BatchQuery, GraphSearch, SearchConfig, SearchResult
+from .kernel import (
+    CompiledGraph,
+    KernelDistances,
+    compile_graph,
+    distances_for,
+    kernel_distances,
+    kernel_enumerate_paths,
+    kernel_shortest_path,
+)
 from .paths import (
     EnumerationReport,
     UNREACHABLE,
@@ -14,17 +24,27 @@ from .paths import (
 from .ranking import RankKey, package_crossings, rank, rank_key, true_output_type
 
 __all__ = [
+    "BatchQuery",
     "Cluster",
+    "CompiledGraph",
+    "DEFAULT_MAX_CACHED_TARGETS",
     "EnumerationReport",
     "GraphSearch",
+    "KernelDistances",
+    "LRUDistanceCache",
     "RankKey",
     "SearchConfig",
     "SearchResult",
     "UNREACHABLE",
     "cluster_results",
+    "compile_graph",
     "count_paths",
+    "distances_for",
     "distances_to",
     "enumerate_paths",
+    "kernel_distances",
+    "kernel_enumerate_paths",
+    "kernel_shortest_path",
     "package_crossings",
     "rank",
     "rank_key",

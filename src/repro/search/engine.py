@@ -14,12 +14,29 @@ window, then a single shortest path per source — and wraps whatever it
 gathered in a :class:`~repro.robustness.QueryOutcome` instead of raising
 or hanging. With no budget configured the engine behaves exactly as the
 paper's tool (and exactly as this module always has).
+
+Serving performance comes from three layers on top of that:
+
+* **the compiled kernel** (:mod:`repro.search.kernel`): the live graph is
+  lowered once per revision into a CSR snapshot with precomputed integer
+  edge costs, and both the backward Dijkstra and the bounded enumeration
+  run as iterative integer loops. ``SearchConfig.use_kernel`` keeps the
+  reference implementation callable for differential testing; wrapped or
+  proxied graphs (fault injectors) always take the reference path.
+* **a bounded LRU distance cache** (:mod:`repro.search.cache`): one
+  distance map per recently queried target, dropped wholesale when the
+  graph's ``revision`` moves.
+* **batch serving** (:meth:`GraphSearch.solve_batch`): a request batch is
+  grouped by target so each distinct target pays for one Dijkstra no
+  matter how many queries want it — the paper's multi-source trick
+  generalized across a batch — with path→jungloid conversion and
+  ``rank_key`` memoized across the whole batch.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..graph import Node, SignatureGraph
 from ..jungloids import CostModel, DEFAULT_COST_MODEL, Jungloid
@@ -36,6 +53,15 @@ from ..robustness import (
     SYSTEM_CLOCK,
 )
 from ..typesystem import JavaType, VOID
+from .cache import DEFAULT_MAX_CACHED_TARGETS, LRUDistanceCache
+from .kernel import (
+    CompiledGraph,
+    KernelDistances,
+    compile_graph,
+    distances_for,
+    kernel_enumerate_paths,
+    kernel_shortest_path,
+)
 from .paths import (
     EnumerationReport,
     UNREACHABLE,
@@ -43,7 +69,7 @@ from .paths import (
     enumerate_paths,
     shortest_path,
 )
-from .ranking import rank, rank_key
+from .ranking import RankKey, rank_key
 
 
 @dataclass(frozen=True)
@@ -65,6 +91,11 @@ class SearchConfig:
     #: Budget fractions reserved for the first two ladder rungs; the
     #: remainder funds the (always-affordable) shortest-path rung.
     ladder_fractions: Tuple[float, float] = (0.7, 0.95)
+    #: Route searches through the compiled CSR kernel. ``False`` forces
+    #: the reference implementation (differential testing / debugging).
+    use_kernel: bool = True
+    #: Bound on the per-target distance maps retained between queries.
+    max_cached_targets: int = DEFAULT_MAX_CACHED_TARGETS
 
 
 @dataclass(frozen=True)
@@ -77,6 +108,35 @@ class SearchResult:
     @property
     def is_void_source(self) -> bool:
         return self.source_type == VOID
+
+
+@dataclass(frozen=True)
+class BatchQuery:
+    """One query of a request batch: source types plus the target."""
+
+    sources: Tuple[JavaType, ...]
+    target: JavaType
+
+    @classmethod
+    def of(cls, query: "BatchQueryLike") -> "BatchQuery":
+        """Coerce ``(t_in, t_out)`` / ``(sources, t_out)`` tuples."""
+        if isinstance(query, BatchQuery):
+            return query
+        sources, target = query
+        if isinstance(sources, (list, tuple)):
+            return cls(sources=tuple(sources), target=target)
+        return cls(sources=(sources,), target=target)
+
+
+#: Anything :meth:`GraphSearch.solve_batch` accepts as one query.
+BatchQueryLike = Union[
+    BatchQuery,
+    Tuple[JavaType, JavaType],
+    Tuple[Sequence[JavaType], JavaType],
+]
+
+#: Entries kept in the cross-query rank-key memo before it is reset.
+_RANK_MEMO_CAP = 8192
 
 
 class GraphSearch:
@@ -93,8 +153,18 @@ class GraphSearch:
         self.cost_model = cost_model
         self.config = config
         self.clock = clock
-        self._dist_cache: Dict[Node, Dict[Node, int]] = {}
+        self._dist_cache: LRUDistanceCache = LRUDistanceCache(
+            max_targets=config.max_cached_targets
+        )
         self._dist_cache_revision = getattr(graph, "revision", 0)
+        self._compiled: Optional[CompiledGraph] = None
+        self._compile_failed_revision: Optional[int] = None
+        #: Counting hook: fresh backward-Dijkstra runs (cache misses).
+        #: Batch tests assert on this to prove distance maps are shared.
+        self.distance_computes = 0
+        # Cross-query rank-key memo, keyed by jungloid identity; the
+        # jungloid is retained so a live entry's id can never be reused.
+        self._rank_memo: Dict[int, Tuple[Jungloid, RankKey]] = {}
 
     def _edge_cost(self, edge) -> int:
         """Edge weight = the ranking heuristic's size estimate (§3.2)."""
@@ -151,6 +221,89 @@ class GraphSearch:
         if not self.graph.has_node(t_out):
             return QueryOutcome(results=(), degraded=False)
         dist = self._distances(t_out)
+        return self._solve_with_dist(sources, t_out, deadline, dist)
+
+    # ------------------------------------------------------------------
+    # Batch serving
+    # ------------------------------------------------------------------
+
+    def solve_batch(
+        self,
+        queries: Sequence[BatchQueryLike],
+        deadline: Optional[Deadline] = None,
+        time_budget_ms: Optional[float] = None,
+    ) -> List[QueryOutcome]:
+        """Answer a whole request batch, amortizing shared work.
+
+        Queries are grouped by target so each distinct target runs one
+        backward Dijkstra for the entire batch (Section 5's multi-source
+        amortization, generalized across requests); path→jungloid
+        conversion and ranking keys are memoized batch-wide. Outcomes
+        come back in input order. A fault while answering one query
+        degrades that query's outcome only — the rest of the batch is
+        unaffected.
+
+        ``deadline``, when given, bounds the whole batch; otherwise
+        ``time_budget_ms`` (argument, falling back to the configured
+        value) is minted per query, exactly as in one-at-a-time serving.
+        """
+        if time_budget_ms is None:
+            time_budget_ms = self.config.time_budget_ms
+        batch = [BatchQuery.of(q) for q in queries]
+        outcomes: List[Optional[QueryOutcome]] = [None] * len(batch)
+        path_memo: Dict[Tuple[int, ...], Tuple[Jungloid, str]] = {}
+        groups: Dict[Node, List[int]] = {}
+        for i, query in enumerate(batch):
+            groups.setdefault(query.target, []).append(i)
+        for target, indices in groups.items():
+            if not self.graph.has_node(target):
+                for i in indices:
+                    outcomes[i] = QueryOutcome(results=(), degraded=False)
+                continue
+            try:
+                dist = self._distances(target)
+            except Exception as exc:  # the whole target group is cut off
+                for i in indices:
+                    outcomes[i] = self._faulted_outcome(target, exc)
+                continue
+            for i in indices:
+                per_query = deadline
+                if per_query is None and time_budget_ms is not None:
+                    per_query = Deadline.after(time_budget_ms, self.clock)
+                try:
+                    outcomes[i] = self._solve_with_dist(
+                        batch[i].sources,
+                        target,
+                        per_query,
+                        dist,
+                        path_memo=path_memo,
+                    )
+                except Exception as exc:  # isolate: one query, not the batch
+                    outcomes[i] = self._faulted_outcome(target, exc)
+        return [o if o is not None else QueryOutcome() for o in outcomes]
+
+    @staticmethod
+    def _faulted_outcome(target: Node, exc: Exception) -> QueryOutcome:
+        return QueryOutcome(
+            results=(),
+            degraded=True,
+            reasons=(
+                DegradationReason(REASON_FAULT, RUNG_FULL_WINDOW, f"{target}: {exc}"),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Core ladder (shared by single-query and batch paths)
+    # ------------------------------------------------------------------
+
+    def _solve_with_dist(
+        self,
+        sources: Sequence[JavaType],
+        t_out: JavaType,
+        deadline: Optional[Deadline],
+        dist,
+        path_memo: Optional[Dict[Tuple[int, ...], Tuple[Jungloid, str]]] = None,
+    ) -> QueryOutcome:
         collected: List[SearchResult] = []
         seen_texts = set()
         reasons: List[DegradationReason] = []
@@ -160,8 +313,20 @@ class GraphSearch:
 
         def collect(source: JavaType, paths: Iterable) -> None:
             for path in paths:
-                jungloid = SignatureGraph.path_to_jungloid(path)
-                text = jungloid.render_expression("x")
+                if path_memo is not None:
+                    # Keyed by edge identity: edges are owned by the graph
+                    # and outlive the batch, so ids are stable.
+                    memo_key = tuple(map(id, path))
+                    entry = path_memo.get(memo_key)
+                    if entry is None:
+                        jungloid = SignatureGraph.path_to_jungloid(path)
+                        text = jungloid.render_expression("x")
+                        path_memo[memo_key] = (jungloid, text)
+                    else:
+                        jungloid, text = entry
+                else:
+                    jungloid = SignatureGraph.path_to_jungloid(path)
+                    text = jungloid.render_expression("x")
                 key = (source, text)
                 if key in seen_texts:
                     continue
@@ -184,18 +349,7 @@ class GraphSearch:
             try:
                 collect(
                     source,
-                    enumerate_paths(
-                        self.graph,
-                        source,
-                        t_out,
-                        bound,
-                        dist=dist,
-                        max_paths=self.config.max_paths_per_source,
-                        edge_cost=self._edge_cost,
-                        deadline=sub_full,
-                        report=report,
-                        check_every=self.config.deadline_check_every,
-                    ),
+                    self._enumerate(source, t_out, bound, dist, sub_full, report),
                 )
             except Exception as exc:  # fault isolation: one source, not the query
                 fault = exc
@@ -224,17 +378,13 @@ class GraphSearch:
                 try:
                     collect(
                         source,
-                        enumerate_paths(
-                            self.graph,
+                        self._enumerate(
                             source,
                             t_out,
                             min(m, self.config.absolute_max_cost),
-                            dist=dist,
-                            max_paths=self.config.max_paths_per_source,
-                            edge_cost=self._edge_cost,
-                            deadline=sub_zero,
-                            report=zero_report,
-                            check_every=self.config.deadline_check_every,
+                            dist,
+                            sub_zero,
+                            zero_report,
                         ),
                     )
                     if zero_report.deadline_expired:
@@ -258,9 +408,7 @@ class GraphSearch:
             if not settled:
                 use_rung(RUNG_SHORTEST_PATH)
                 try:
-                    fallback = shortest_path(
-                        self.graph, source, t_out, dist=dist, edge_cost=self._edge_cost
-                    )
+                    fallback = self._shortest_path(source, t_out, dist)
                     if fallback is not None:
                         collect(source, [fallback])
                 except Exception as exc:
@@ -270,9 +418,7 @@ class GraphSearch:
                         )
                     )
 
-        collected.sort(
-            key=lambda r: rank_key(self.graph.registry, r.jungloid, self.cost_model)
-        )
+        collected.sort(key=lambda r: self._rank_key(r.jungloid))
         return QueryOutcome(
             results=tuple(collected[: self.config.max_results]),
             degraded=bool(reasons),
@@ -300,6 +446,77 @@ class GraphSearch:
         )
 
     # ------------------------------------------------------------------
+    # Kernel / reference dispatch
+    # ------------------------------------------------------------------
+
+    def _enumerate(
+        self,
+        source: JavaType,
+        t_out: JavaType,
+        bound: int,
+        dist,
+        deadline: Optional[Deadline],
+        report: EnumerationReport,
+    ):
+        """Bounded enumeration via the kernel when ``dist`` came from it."""
+        if isinstance(dist, KernelDistances):
+            return kernel_enumerate_paths(
+                dist.compiled,
+                source,
+                t_out,
+                bound,
+                dist=dist,
+                max_paths=self.config.max_paths_per_source,
+                deadline=deadline,
+                report=report,
+                check_every=self.config.deadline_check_every,
+            )
+        return enumerate_paths(
+            self.graph,
+            source,
+            t_out,
+            bound,
+            dist=dist,
+            max_paths=self.config.max_paths_per_source,
+            edge_cost=self._edge_cost,
+            deadline=deadline,
+            report=report,
+            check_every=self.config.deadline_check_every,
+        )
+
+    def _shortest_path(self, source: JavaType, t_out: JavaType, dist):
+        if isinstance(dist, KernelDistances):
+            return kernel_shortest_path(dist.compiled, source, t_out, dist=dist)
+        return shortest_path(
+            self.graph, source, t_out, dist=dist, edge_cost=self._edge_cost
+        )
+
+    def _compiled_graph(self) -> Optional[CompiledGraph]:
+        """The CSR snapshot for the current revision, or ``None``.
+
+        ``None`` when the kernel is configured off, when the graph is a
+        wrapper/proxy rather than a real :class:`SignatureGraph` (fault
+        injectors must keep seeing every edge access), or when compiling
+        this revision already failed (the reference path still works).
+        """
+        if not self.config.use_kernel:
+            return None
+        if not isinstance(self.graph, SignatureGraph):
+            return None
+        revision = getattr(self.graph, "revision", 0)
+        if self._compiled is not None and self._compiled.revision == revision:
+            return self._compiled
+        if self._compile_failed_revision == revision:
+            return None
+        try:
+            self._compiled = compile_graph(self.graph, edge_cost=self._edge_cost)
+        except Exception:
+            self._compile_failed_revision = revision
+            self._compiled = None
+            return None
+        return self._compiled
+
+    # ------------------------------------------------------------------
     # Introspection helpers
     # ------------------------------------------------------------------
 
@@ -310,7 +527,12 @@ class GraphSearch:
         m = self._distances(t_out).get(t_in, UNREACHABLE)
         return None if m >= UNREACHABLE else m
 
-    def _distances(self, target: Node) -> Dict[Node, int]:
+    def _distances(self, target: Node):
+        """The per-target distance map, LRU-cached and revision-guarded.
+
+        Returns a :class:`KernelDistances` when the kernel is active, a
+        plain dict otherwise; both support ``get(node, default)``.
+        """
         revision = getattr(self.graph, "revision", 0)
         if revision != self._dist_cache_revision:
             # The graph grew (e.g. mined paths grafted in); distances
@@ -318,10 +540,29 @@ class GraphSearch:
             self._dist_cache.clear()
             self._dist_cache_revision = revision
         cached = self._dist_cache.get(target)
-        if cached is None:
-            cached = distances_to(self.graph, target, edge_cost=self._edge_cost)
-            self._dist_cache[target] = cached
-        return cached
+        if cached is not None:
+            return cached
+        compiled = self._compiled_graph()
+        fresh = None
+        if compiled is not None:
+            fresh = distances_for(compiled, target)
+        if fresh is None:
+            fresh = distances_to(self.graph, target, edge_cost=self._edge_cost)
+        self.distance_computes += 1
+        self._dist_cache.put(target, fresh)
+        return fresh
+
+    def _rank_key(self, jungloid: Jungloid) -> RankKey:
+        """Memoized :func:`~repro.search.ranking.rank_key` by identity."""
+        memo = self._rank_memo
+        entry = memo.get(id(jungloid))
+        if entry is not None and entry[0] is jungloid:
+            return entry[1]
+        key = rank_key(self.graph.registry, jungloid, self.cost_model)
+        if len(memo) >= _RANK_MEMO_CAP:
+            memo.clear()
+        memo[id(jungloid)] = (jungloid, key)
+        return key
 
     def with_config(self, **overrides) -> "GraphSearch":
         """A copy of this search with config fields overridden."""

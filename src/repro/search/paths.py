@@ -48,7 +48,8 @@ class EnumerationReport:
 
     #: Paths actually yielded.
     produced: int = 0
-    #: Node expansions performed by the DFS.
+    #: Node expansions performed by the DFS (counted whether or not a
+    #: deadline is set, so perf reports are meaningful without a budget).
     expansions: int = 0
     #: True when a deadline cut the enumeration short (results partial).
     deadline_expired: bool = False
@@ -148,12 +149,15 @@ def enumerate_paths(
             return
         if stopped:
             return
-        if deadline is not None:
-            report.expansions += 1
-            if report.expansions % check_every == 0 and deadline.expired():
-                report.deadline_expired = True
-                stopped = True
-                return
+        report.expansions += 1
+        if (
+            deadline is not None
+            and report.expansions % check_every == 0
+            and deadline.expired()
+        ):
+            report.deadline_expired = True
+            stopped = True
+            return
         if node == target and path:
             produced += 1
             report.produced = produced

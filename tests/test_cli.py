@@ -243,3 +243,75 @@ class TestLenientCorpusFlag:
         bad.write_text("package c; class ??? {")
         code = main(["query", "z.A", "z.B", "--api", str(api), "--corpus", str(bad)])
         assert code == 2
+
+
+class TestQueryBatch:
+    def test_batch_file_serves_all_queries(self, capsys, tmp_path):
+        batch = tmp_path / "queries.txt"
+        batch.write_text(
+            "# popular IO queries\n"
+            "InputStream BufferedReader\n"
+            "\n"
+            "String StringReader  # trailing comment\n"
+        )
+        code = main(["query", "--batch", str(batch), "--top", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== InputStream -> BufferedReader" in out
+        assert "== String -> StringReader" in out
+        assert "new java.io.BufferedReader" in out
+
+    def test_malformed_batch_line_is_input_error(self, capsys, tmp_path):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("InputStream\n")
+        code = main(["query", "--batch", str(batch)])
+        assert code == 2
+        assert "expected 'T_IN T_OUT'" in capsys.readouterr().err
+
+    def test_missing_positionals_without_batch(self, capsys):
+        code = main(["query", "InputStream"])
+        assert code == 2
+        assert "--batch" in capsys.readouterr().err
+
+
+class TestBenchSearch:
+    def test_bench_search_writes_json(self, capsys, tmp_path):
+        out_file = tmp_path / "BENCH_search.json"
+        code = main(
+            [
+                "bench-search",
+                "--repeats",
+                "1",
+                "--batch-rounds",
+                "1",
+                "--stress-fan-out",
+                "2",
+                "-o",
+                str(out_file),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "single-query speedup" in out
+        recorded = json.loads(out_file.read_text())
+        assert recorded["table1"]["identical_results"] is True
+        assert recorded["table1"]["query_count"] == 20
+        assert recorded["batch"]["query_count"] == 20
+        assert recorded["stress"]["paths"] == 4
+
+    def test_min_speedup_gate_fails_loudly(self, capsys):
+        code = main(
+            [
+                "bench-search",
+                "--repeats",
+                "1",
+                "--batch-rounds",
+                "1",
+                "--stress-fan-out",
+                "2",
+                "--min-speedup",
+                "1000000",
+            ]
+        )
+        assert code == 1
+        assert "below required" in capsys.readouterr().err

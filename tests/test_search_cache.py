@@ -1,0 +1,105 @@
+"""Tests for the bounded LRU distance cache and its engine wiring."""
+
+from repro.graph import JungloidGraph, SignatureGraph
+from repro.jungloids import Jungloid, downcast
+from repro.search import (
+    DEFAULT_MAX_CACHED_TARGETS,
+    GraphSearch,
+    LRUDistanceCache,
+    SearchConfig,
+)
+from repro.typesystem import named
+
+
+class TestLRUDistanceCache:
+    def test_bound_enforced_lru_order(self):
+        cache = LRUDistanceCache(max_targets=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a", the least recently used
+        assert len(cache) == 2
+        assert "a" not in cache
+        assert cache.get("b") == 2 and cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LRUDistanceCache(max_targets=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "b" is now the oldest
+        cache.put("c", 3)
+        assert "a" in cache and "b" not in cache
+
+    def test_get_is_identity_stable(self):
+        cache = LRUDistanceCache()
+        value = {"x": 1}
+        cache.put("t", value)
+        assert cache.get("t") is value
+        assert cache.get("t") is value
+
+    def test_zero_capacity_disables_caching(self):
+        cache = LRUDistanceCache(max_targets=0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_stats_and_counters(self):
+        cache = LRUDistanceCache(max_targets=1)
+        assert cache.get("a") is None  # miss
+        cache.put("a", 1)
+        cache.get("a")  # hit
+        cache.put("b", 2)  # evicts "a"
+        s = cache.stats()
+        assert s["hits"] == 1 and s["misses"] == 1 and s["evictions"] == 1
+        assert s["size"] == 1 and s["max_targets"] == 1
+
+    def test_clear_drops_everything(self):
+        cache = LRUDistanceCache()
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_default_capacity(self):
+        assert LRUDistanceCache().max_targets == DEFAULT_MAX_CACHED_TARGETS
+
+
+class TestEngineCacheWiring:
+    def test_configured_bound_respected(self, small_registry):
+        graph = SignatureGraph.from_registry(small_registry)
+        search = GraphSearch(graph, config=SearchConfig(max_cached_targets=1))
+        search._distances(named("demo.io.BufferedReader"))
+        search._distances(named("demo.ui.ISelection"))
+        assert len(search._dist_cache) == 1
+        assert named("demo.ui.ISelection") in search._dist_cache
+        assert named("demo.io.BufferedReader") not in search._dist_cache
+
+    def test_cache_hit_skips_recompute(self, small_registry):
+        graph = SignatureGraph.from_registry(small_registry)
+        search = GraphSearch(graph)
+        dst = named("demo.io.BufferedReader")
+        first = search._distances(dst)
+        assert search._distances(dst) is first
+        assert search.distance_computes == 1
+
+    def test_revision_bump_evicts_all_entries(self, small_registry):
+        """The dedicated staleness test: a graph mutation must flush the
+        whole cache, not serve distances computed on the old edge set."""
+        graph = JungloidGraph.build(small_registry)
+        search = GraphSearch(graph)
+        sel = small_registry.lookup("demo.ui.ISelection")
+        item = small_registry.lookup("demo.ui.Item")
+        buf = small_registry.lookup("demo.io.BufferedReader")
+        # Prime two targets.
+        assert search.shortest_cost(sel, item) is None
+        search._distances(buf)
+        assert len(search._dist_cache) == 2
+        computes_before = search.distance_computes
+        # Mutate: graft a mined downcast path (bumps graph.revision).
+        graph.add_mined_path(Jungloid((downcast(sel, item),)))
+        # Next lookup flushes the stale entries and recomputes.
+        assert search.shortest_cost(sel, item) is not None
+        assert search.distance_computes == computes_before + 1
+        assert buf not in search._dist_cache  # the bystander was evicted too
+        search._distances(buf)
+        assert search.distance_computes == computes_before + 2

@@ -105,3 +105,46 @@ class TestEnumeration:
         registry, graph = build()
         for path in enumerate_paths(graph, named("w.A"), named("w.D"), max_cost=4):
             assert path[-1].target == named("w.D")
+
+
+class TestExpansionCounting:
+    def test_expansions_counted_without_deadline(self):
+        """Regression: expansions used to be counted only when a deadline
+        was set, making perf reports read zero on unbudgeted runs."""
+        from repro.search import EnumerationReport
+
+        registry, graph = build()
+        report = EnumerationReport()
+        paths = list(
+            enumerate_paths(
+                graph, named("w.A"), named("w.D"), max_cost=5, report=report
+            )
+        )
+        assert paths
+        assert report.expansions > 0
+        assert not report.deadline_expired
+
+    def test_expansion_count_independent_of_deadline_presence(self):
+        from repro.robustness import Deadline, ManualClock
+        from repro.search import EnumerationReport
+
+        registry, graph = build()
+        plain = EnumerationReport()
+        list(
+            enumerate_paths(
+                graph, named("w.A"), named("w.D"), max_cost=5, report=plain
+            )
+        )
+        budgeted = EnumerationReport()
+        list(
+            enumerate_paths(
+                graph,
+                named("w.A"),
+                named("w.D"),
+                max_cost=5,
+                report=budgeted,
+                # Generous budget: never expires, must not change counting.
+                deadline=Deadline.after(10_000.0, ManualClock(tick=0.0)),
+            )
+        )
+        assert plain.expansions == budgeted.expansions > 0
