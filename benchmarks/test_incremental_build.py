@@ -1,0 +1,36 @@
+"""Incremental-build benchmark: single-file update vs full rebuild.
+
+The staged pipeline exists so corpus growth is cheap: editing one file
+should cost one file's re-mine plus a suffix-delta graft, not a
+from-scratch build. This benchmark times both paths on the bundled
+corpus — plus the all-hashes-match no-op sync — and differentially
+checks that the incremental answers match a fresh build on every
+Table-1 query. The numbers land in
+``benchmarks/out/BENCH_incremental.json``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from conftest import OUT_DIR
+
+from repro.eval import run_incremental_perf, write_bench_incremental
+
+
+def test_incremental_update_beats_rebuild(prospector, out_dir):
+    report = run_incremental_perf(prospector, repeats=5)
+    write_bench_incremental(report, out_dir / "BENCH_incremental.json")
+
+    recorded = json.loads((OUT_DIR / "BENCH_incremental.json").read_text())
+    assert recorded["files_total"] >= 10
+
+    # The acceptance bar: a warm single-file update must beat a full
+    # rebuild by at least 3x, re-mining only the touched file.
+    assert report.update_speedup >= 3.0
+    assert report.files_remined == 1
+    assert report.files_reused == report.files_total - 1
+    # A no-op sync is a hash check, orders of magnitude under a rebuild.
+    assert report.noop_seconds < report.update_seconds
+    # Speed must never change the answers.
+    assert report.identical_results

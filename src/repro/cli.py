@@ -329,6 +329,110 @@ def _cmd_index_repair(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _parse_set_specs(specs: Sequence[str]) -> List[tuple]:
+    """Parse ``--set`` operands: ``NAME=PATH`` or bare ``PATH``.
+
+    With a bare path the corpus source name is the path string itself —
+    the same naming ``--corpus FILE`` loading uses.
+    """
+    upserts = []
+    for spec in specs:
+        name, sep, path = spec.partition("=")
+        if not sep:
+            name, path = spec, spec
+        with open(path, "r", encoding="utf-8") as handle:
+            upserts.append((name, handle.read()))
+    return upserts
+
+
+def _cmd_index_update(args: argparse.Namespace) -> int:
+    if not args.set and not args.remove:
+        print("error: nothing to do; give --set and/or --remove", file=sys.stderr)
+        return EXIT_INPUT_ERROR
+    upserts = _parse_set_specs(args.set)
+
+    def _rebuild():
+        rebuilt = _build_prospector_from_data(args)
+        return rebuilt.registry, rebuilt.mined_jungloids
+
+    prospector = Prospector.from_snapshot(args.path, rebuild=_rebuild)
+    if prospector.pipeline is None:
+        # No usable stage sidecar (old snapshot, or damaged): degrade to
+        # a full rebuild from the corpus, which recreates the pipeline —
+        # the update below then runs against it and the save writes a
+        # fresh sidecar, so the *next* update is incremental again.
+        print(
+            f"note: no stage sidecar for {args.path};"
+            " rebuilding from corpus (next update will be incremental)",
+            file=sys.stderr,
+        )
+        prospector = _build_prospector_from_data(args)
+    if prospector.pipeline is None:
+        print(
+            "error: no corpus available to update (ran with --no-corpus?)",
+            file=sys.stderr,
+        )
+        return EXIT_INPUT_ERROR
+    stats = prospector.update_corpus(upserts, args.remove)
+    t = stats.timings
+    if stats.noop:
+        print(f"{args.path}: no content changes (all fingerprints match)")
+    else:
+        print(
+            f"{args.path}: +{len(stats.files_added)} added,"
+            f" ~{len(stats.files_changed)} changed,"
+            f" -{len(stats.files_removed)} removed"
+            f" (of {stats.files_total} corpus files)"
+        )
+        print(
+            f"  re-mined {len(stats.files_remined)} file(s), reused"
+            f" {stats.files_reused}; suffixes +{stats.suffixes_added}"
+            f"/-{stats.suffixes_removed}; {stats.affected_targets}"
+            f" search target(s) invalidated"
+        )
+    print(
+        f"  stages: fingerprint {t.fingerprint_ms:.2f} ms,"
+        f" parse {t.parse_ms:.2f} ms, resolve {t.resolve_ms:.2f} ms,"
+        f" callgraph {t.callgraph_ms:.2f} ms, mine {t.mine_ms:.2f} ms,"
+        f" generalize {t.generalize_ms:.2f} ms, graft {t.graft_ms:.2f} ms"
+        f" (total {t.total_ms:.2f} ms)"
+    )
+    manifest = prospector.save_snapshot(args.path)
+    print(
+        f"  wrote snapshot: {manifest.mined_count} mined,"
+        f" {manifest.node_count} nodes, {manifest.edge_count} edges"
+    )
+    return EXIT_OK
+
+
+def _cmd_bench_incremental(args: argparse.Namespace) -> int:
+    from .eval import run_incremental_perf, write_bench_incremental
+
+    prospector = _build_prospector_from_data(args)
+    if prospector.pipeline is None:
+        print("error: bench-incremental needs a corpus", file=sys.stderr)
+        return EXIT_INPUT_ERROR
+    report = run_incremental_perf(prospector, repeats=args.repeats)
+    print(report.format_report())
+    if args.output:
+        write_bench_incremental(report, args.output)
+        print(f"wrote {args.output}")
+    if not report.identical_results:
+        print(
+            "error: incremental and from-scratch ranked output diverged",
+            file=sys.stderr,
+        )
+        return EXIT_INPUT_ERROR
+    if args.min_speedup is not None and report.update_speedup < args.min_speedup:
+        print(
+            f"error: update speedup {report.update_speedup:.2f}x"
+            f" below required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return EXIT_NO_RESULTS
+    return EXIT_OK
+
+
 def _cmd_bench_search(args: argparse.Namespace) -> int:
     from .eval import run_search_perf, write_bench_search
 
@@ -461,6 +565,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_data_options(d)
     d.set_defaults(func=_cmd_dump_bundle)
 
+    bi = sub.add_parser(
+        "bench-incremental",
+        help="benchmark incremental single-file updates vs from-scratch"
+        " rebuild (differential-checks the answers)",
+    )
+    bi.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="also write the numbers as JSON"
+        " (e.g. benchmarks/out/BENCH_incremental.json)",
+    )
+    bi.add_argument(
+        "--repeats", type=int, default=5, help="best-of-N timing repeats (default 5)"
+    )
+    bi.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit nonzero when the update speedup falls below X"
+        " (CI regression guard)",
+    )
+    _add_data_options(bi)
+    bi.set_defaults(func=_cmd_bench_incremental)
+
     bs = sub.add_parser(
         "bench-search",
         help="benchmark the compiled search kernel and batch serving"
@@ -507,6 +638,30 @@ def build_parser() -> argparse.ArgumentParser:
     ib.add_argument("-o", "--output", metavar="FILE", required=True)
     _add_data_options(ib)
     ib.set_defaults(func=_cmd_index_build)
+
+    iu = ix_sub.add_parser(
+        "update",
+        help="apply corpus file edits to an existing snapshot incrementally"
+        " (re-mines only touched files via the stage sidecar)",
+    )
+    iu.add_argument("path", help="snapshot file to update in place")
+    iu.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="[NAME=]FILE",
+        help="add or replace a corpus file (repeatable); NAME defaults"
+        " to the path itself",
+    )
+    iu.add_argument(
+        "--remove",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="drop this corpus source (repeatable)",
+    )
+    _add_data_options(iu)
+    iu.set_defaults(func=_cmd_index_update)
 
     iv = ix_sub.add_parser(
         "verify", help="check a snapshot's checksum, schema, and integrity"

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..corpus import CorpusProgram, load_corpus_texts
@@ -30,6 +30,7 @@ from ..robustness import (
     QueryOutcome,
     SYSTEM_CLOCK,
 )
+from ..pipeline import CorpusPipeline, PipelineUpdateStats
 from ..search import GraphSearch, SearchConfig, representatives
 from ..store import (
     RecoveredStore,
@@ -37,6 +38,8 @@ from ..store import (
     SnapshotStore,
     StoreDiagnostics,
     load_with_recovery,
+    save_stage_sidecar,
+    try_load_stage_sidecar,
 )
 from ..typesystem import Method, TypeRegistry, VOID
 from .context import CursorContext
@@ -49,8 +52,10 @@ class ProspectorConfig:
     """Top-level knobs; the defaults replicate the paper's tool."""
 
     public_only: bool = True
-    extraction: ExtractionConfig = ExtractionConfig()
-    search: SearchConfig = SearchConfig()
+    # default_factory, not a class-level instance: a single shared default
+    # object would alias every config constructed without overrides.
+    extraction: ExtractionConfig = field(default_factory=ExtractionConfig)
+    search: SearchConfig = field(default_factory=SearchConfig)
     cost_model: CostModel = DEFAULT_COST_MODEL
     #: Collapse parallel jungloids to one representative (paper's
     #: future-work suggestion; off by default to match the evaluation).
@@ -68,6 +73,7 @@ class Prospector:
         clock: Clock = SYSTEM_CLOCK,
         mined: Optional[Sequence[Jungloid]] = None,
         store_diagnostics: Optional[StoreDiagnostics] = None,
+        pipeline: Optional[CorpusPipeline] = None,
     ):
         self.registry = registry
         self.config = config
@@ -75,11 +81,30 @@ class Prospector:
         self.clock = clock
         #: Recovery report when this instance came from a snapshot load.
         self.store_diagnostics = store_diagnostics
+        #: The staged incremental pipeline, when the corpus carries its
+        #: raw texts (the normal load path); :meth:`update_corpus` needs it.
+        self.pipeline: Optional[CorpusPipeline] = pipeline
         if mined is not None:
             # Pre-mined jungloids (snapshot fast-start): skip extraction.
             self.mining: Optional[MiningResult] = None
             mined_list = list(mined)
+        elif pipeline is not None:
+            self.mining = pipeline.mining
+            self.corpus = pipeline.program
+            mined_list = list(pipeline.suffixes)
+        elif corpus is not None and corpus.texts:
+            self.pipeline = CorpusPipeline.from_program(
+                registry,
+                corpus,
+                extraction=config.extraction,
+                public_only=config.public_only,
+            )
+            self.mining = self.pipeline.mining
+            self.corpus = self.pipeline.program
+            mined_list = list(self.pipeline.suffixes)
         elif corpus is not None:
+            # Legacy path: a hand-assembled program without source texts
+            # cannot be fingerprinted, so it mines monolithically.
             self.mining = mine_corpus(
                 corpus.registry,
                 corpus.units,
@@ -93,9 +118,12 @@ class Prospector:
         #: The mined jungloids the graph was spliced with — what a
         #: snapshot persists alongside the registry.
         self.mined_jungloids: Tuple[Jungloid, ...] = tuple(mined_list)
-        self.graph = JungloidGraph.build(
-            registry, mined_list, public_only=config.public_only
-        )
+        if self.pipeline is not None and self.pipeline.graph is not None:
+            self.graph = self.pipeline.graph
+        else:
+            self.graph = JungloidGraph.build(
+                registry, mined_list, public_only=config.public_only
+            )
         self.search = GraphSearch(
             self.graph, cost_model=config.cost_model, config=config.search, clock=clock
         )
@@ -131,6 +159,7 @@ class Prospector:
         max_rebuild_attempts: int = 3,
         backoff_ms: float = 50.0,
         sleep: Optional[Callable[[float], None]] = None,
+        load_stages: bool = True,
     ) -> "Prospector":
         """Fast-start from a persisted snapshot, surviving damage.
 
@@ -140,6 +169,13 @@ class Prospector:
         :attr:`store_diagnostics`. Raises
         :class:`~repro.store.StoreRecoveryError` only if every rung
         fails.
+
+        When ``load_stages`` is true and a stage sidecar sits next to
+        the snapshot, the incremental pipeline is rehydrated from it so
+        :meth:`update_corpus` stays incremental across restarts. A
+        missing or damaged sidecar silently degrades to a query-only
+        instance (updates then rebuild from scratch) — the sidecar is
+        an accelerator, never a correctness dependency.
         """
         store = SnapshotStore(path)
         recovered: RecoveredStore = load_with_recovery(
@@ -149,7 +185,7 @@ class Prospector:
             backoff_ms=backoff_ms,
             sleep=sleep,
         )
-        return cls(
+        prospector = cls(
             recovered.registry,
             None,
             config,
@@ -157,18 +193,95 @@ class Prospector:
             mined=recovered.mined,
             store_diagnostics=recovered.diagnostics,
         )
+        if load_stages:
+            prospector._adopt_stage_sidecar(path)
+        return prospector
+
+    def _adopt_stage_sidecar(self, path: os.PathLike) -> bool:
+        """Rehydrate :attr:`pipeline` from a snapshot's stage sidecar.
+
+        Best-effort: any damage or format drift leaves the instance as
+        loaded (snapshot answers stay authoritative) and returns False.
+        """
+        data = try_load_stage_sidecar(path)
+        if data is None:
+            return False
+        try:
+            pipeline = CorpusPipeline.from_artifacts(
+                self.registry,
+                data,
+                graph=self.graph,
+                extraction=self.config.extraction,
+                public_only=self.config.public_only,
+            )
+        except Exception:
+            return False
+        self.pipeline = pipeline
+        self.mining = pipeline.mining
+        self.corpus = pipeline.program
+        self.mined_jungloids = tuple(pipeline.suffixes)
+        self._argument_examples_cache = None
+        return True
 
     def save_snapshot(self, path: os.PathLike, rotate: bool = True) -> SnapshotManifest:
         """Persist the registry + mined jungloids atomically (with
-        checksum manifest and a retained previous generation)."""
+        checksum manifest and a retained previous generation).
+
+        When the instance carries an incremental pipeline, its stage
+        artifacts are persisted alongside in a ``.stages`` sidecar so a
+        later ``index update`` against this snapshot re-mines only
+        touched files."""
         store = SnapshotStore(path)
-        return store.save(
+        manifest = store.save(
             self.registry,
             self.mined_jungloids,
             graph=self.graph,
             public_only=self.config.public_only,
             rotate=rotate,
         )
+        if self.pipeline is not None:
+            save_stage_sidecar(path, self.pipeline.to_stage_dict())
+        return manifest
+
+    # ------------------------------------------------------------------
+    # Incremental corpus updates
+    # ------------------------------------------------------------------
+
+    def update_corpus(
+        self,
+        upserts: Iterable[Tuple[str, str]] = (),
+        removes: Iterable[str] = (),
+    ) -> PipelineUpdateStats:
+        """Apply file-level corpus edits, re-mining only what changed.
+
+        ``upserts`` are ``(source_name, text)`` pairs that add or replace
+        corpus files; ``removes`` names files to drop. The staged
+        pipeline fingerprints every file, reuses cached mined examples
+        whose dependencies are untouched, and grafts the suffix delta
+        into the live graph — unaffected distance-cache entries survive.
+
+        Requires the instance to have been built from corpus texts (or a
+        stage sidecar); raises :class:`RuntimeError` otherwise.
+        """
+        if self.pipeline is None:
+            raise RuntimeError(
+                "update_corpus needs the incremental pipeline; this instance "
+                "was built without corpus texts or a usable stage sidecar"
+            )
+        stats = self.pipeline.update(upserts, removes)
+        self.mining = self.pipeline.mining
+        self.corpus = self.pipeline.program
+        self.mined_jungloids = tuple(self.pipeline.suffixes)
+        self.graph = self.pipeline.graph
+        if self.search.graph is not self.graph:
+            self.search = GraphSearch(
+                self.graph,
+                cost_model=self.config.cost_model,
+                config=self.config.search,
+                clock=self.clock,
+            )
+        self._argument_examples_cache = None
+        return stats
 
     # ------------------------------------------------------------------
     # Queries

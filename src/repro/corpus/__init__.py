@@ -7,6 +7,7 @@ from .loader import (
     clone_registry,
     load_corpus_files,
     load_corpus_texts,
+    resolve_and_check_lenient,
 )
 
 __all__ = [
@@ -17,4 +18,5 @@ __all__ = [
     "clone_registry",
     "load_corpus_files",
     "load_corpus_texts",
+    "resolve_and_check_lenient",
 ]

@@ -20,7 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from ..graph import registry_from_dict, registry_to_dict
 from ..minijava import (
     CheckReport,
     CompilationUnit,
@@ -48,8 +47,14 @@ class CorpusLoadError(Exception):
 
 
 def clone_registry(registry: TypeRegistry) -> TypeRegistry:
-    """Deep-copy a registry via its serialized form."""
-    return registry_from_dict(registry_to_dict(registry))
+    """Structurally independent copy of a registry.
+
+    Uses :meth:`TypeRegistry.clone` (fresh declaration shells over shared
+    immutable members) — far cheaper than the historical JSON round trip,
+    which matters because lenient loading and the incremental pipeline
+    clone per resolution attempt.
+    """
+    return registry.clone()
 
 
 @dataclass
@@ -62,6 +67,10 @@ class CorpusProgram:
     check_report: Optional[CheckReport] = None
     #: Quarantine report from a lenient load; ``None`` after a strict load.
     diagnostics: Optional[CorpusDiagnostics] = None
+    #: The raw ``(source, text)`` pairs the program was loaded from
+    #: (including quarantined files). The incremental pipeline needs the
+    #: originals to fingerprint and re-slice on :meth:`update_corpus`.
+    texts: List[Tuple[str, str]] = field(default_factory=list)
 
     @property
     def class_count(self) -> int:
@@ -85,6 +94,7 @@ def load_corpus_texts(
     ``lenient=True`` broken files are quarantined (see module docstring)
     instead of raising.
     """
+    texts = list(texts)
     if lenient:
         return _load_corpus_texts_lenient(api_registry, texts, check=check)
     registry = clone_registry(api_registry)
@@ -94,7 +104,11 @@ def load_corpus_texts(
     if report is not None:
         report.raise_if_failed()
     return CorpusProgram(
-        units=units, registry=registry, corpus_types=corpus_types, check_report=report
+        units=units,
+        registry=registry,
+        corpus_types=corpus_types,
+        check_report=report,
+        texts=texts,
     )
 
 
@@ -139,6 +153,7 @@ def load_corpus_files(
 def _load_corpus_texts_lenient(
     api_registry: TypeRegistry, texts: Iterable[Tuple[str, str]], check: bool
 ) -> CorpusProgram:
+    texts = list(texts)
     diagnostics = CorpusDiagnostics()
 
     units: List[CompilationUnit] = []
@@ -148,6 +163,33 @@ def _load_corpus_texts_lenient(
         except MiniJavaError as exc:
             diagnostics.record(source, PHASE_PARSE, exc)
 
+    registry, units, corpus_types, report = resolve_and_check_lenient(
+        api_registry, units, diagnostics, check=check
+    )
+
+    diagnostics.loaded = [u.source for u in units]
+    return CorpusProgram(
+        units=units,
+        registry=registry,
+        corpus_types=corpus_types,
+        check_report=report,
+        diagnostics=diagnostics,
+        texts=texts,
+    )
+
+
+def resolve_and_check_lenient(
+    api_registry: TypeRegistry,
+    units: Sequence[CompilationUnit],
+    diagnostics: CorpusDiagnostics,
+    check: bool = True,
+) -> Tuple[TypeRegistry, List[CompilationUnit], List[NamedType], Optional[CheckReport]]:
+    """Resolve (and optionally check) parsed units with fault quarantine.
+
+    The resolution/check half of the lenient load, factored out so the
+    incremental pipeline can re-run it over cached parsed units without
+    re-reading or re-parsing anything.
+    """
     registry, units, corpus_types = _resolve_lenient(api_registry, units, diagnostics)
 
     report: Optional[CheckReport] = None
@@ -169,15 +211,7 @@ def _load_corpus_texts_lenient(
             registry, units, corpus_types = _resolve_lenient(
                 api_registry, units, diagnostics
             )
-
-    diagnostics.loaded = [u.source for u in units]
-    return CorpusProgram(
-        units=units,
-        registry=registry,
-        corpus_types=corpus_types,
-        check_report=report,
-        diagnostics=diagnostics,
-    )
+    return registry, list(units), list(corpus_types), report
 
 
 def _resolve_lenient(

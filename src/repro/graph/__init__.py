@@ -1,7 +1,7 @@
 """Signature and jungloid graphs, statistics, serialization, DOT export."""
 
 from .dot import path_dot, subgraph_dot
-from .jungloid_graph import JungloidGraph
+from .jungloid_graph import JungloidGraph, MinedDelta
 from .nodes import Edge, Node, TypestateNode, node_base_type, node_label
 from .serialize import (
     BundleFormatError,
@@ -17,14 +17,16 @@ from .serialize import (
     type_from_string,
     type_to_string,
 )
-from .signature_graph import SignatureGraph
+from .signature_graph import INVALIDATION_LOG_CAP, SignatureGraph
 from .stats import GraphStats, graph_stats
 
 __all__ = [
     "BundleFormatError",
     "Edge",
     "GraphStats",
+    "INVALIDATION_LOG_CAP",
     "JungloidGraph",
+    "MinedDelta",
     "Node",
     "SignatureGraph",
     "TypestateNode",

@@ -7,16 +7,46 @@ graph as a fresh path from the existing node ``T`` to the existing node
 call sequence — casting arbitrary ``Object`` values to ``U`` remains
 unrepresentable, which is exactly the precision property Section 4.1
 demands.
+
+Besides one-shot construction the graph supports **delta grafting**
+(:meth:`JungloidGraph.apply_mined_delta`): the incremental pipeline
+computes which mined suffixes appeared or disappeared after a corpus
+update and splices/unsplices exactly those paths into the live graph,
+recording a selective invalidation (only query targets forward-reachable
+from the touched edges have stale distance maps) instead of forcing
+every cache downstream to flush.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..jungloids import Jungloid
-from ..typesystem import TypeRegistry
-from .nodes import Edge, Node, TypestateNode, node_base_type
+from ..jungloids import ElementaryJungloid, Jungloid
+from ..typesystem import TypeRegistry, VOID
+from .nodes import Edge, Node, TypestateNode
 from .signature_graph import SignatureGraph
+
+#: Value identity of a mined suffix: its elementary step sequence.
+SuffixKey = Tuple[ElementaryJungloid, ...]
+
+
+@dataclass(frozen=True)
+class MinedDelta:
+    """What one delta application did to the live graph."""
+
+    added: Tuple[Jungloid, ...]
+    removed: Tuple[Jungloid, ...]
+    edges_added: int
+    edges_removed: int
+    #: Query targets whose cached distance maps the delta invalidated.
+    affected_targets: FrozenSet[Node]
+    revision_before: int
+    revision_after: int
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.added and not self.removed
 
 
 class JungloidGraph(SignatureGraph):
@@ -26,6 +56,7 @@ class JungloidGraph(SignatureGraph):
         super().__init__(registry)
         self._typestate_counter: Dict[str, int] = {}
         self._mined_paths: List[Tuple[Edge, ...]] = []
+        self._paths_by_key: Dict[SuffixKey, List[Tuple[Edge, ...]]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -74,7 +105,101 @@ class JungloidGraph(SignatureGraph):
             source = target
         path = tuple(edges)
         self._mined_paths.append(path)
+        self._paths_by_key.setdefault(steps, []).append(path)
         return path
+
+    def remove_mined_path(self, jungloid: Jungloid) -> Tuple[Edge, ...]:
+        """Unsplice a previously grafted mined path (delta grafting).
+
+        Removes the path's edges, its intermediate typestate nodes, and
+        any endpoint node the path itself had introduced (a node is kept
+        whenever other edges still touch it). Raises :class:`KeyError`
+        when no grafted path matches the jungloid's step sequence.
+        """
+        paths = self._paths_by_key.get(jungloid.steps)
+        if not paths:
+            raise KeyError(f"no mined path grafted for {jungloid.describe()}")
+        path = paths.pop()
+        if not paths:
+            del self._paths_by_key[jungloid.steps]
+        self._mined_paths.remove(path)
+        for edge in path:
+            self.remove_edge(edge)
+        for edge in path:
+            for node in (edge.source, edge.target):
+                if node == VOID or not self.has_node(node):
+                    continue
+                if not self._out.get(node) and not self._in.get(node):
+                    self.remove_node(node)
+        return path
+
+    # ------------------------------------------------------------------
+    # Delta grafting
+    # ------------------------------------------------------------------
+
+    def apply_mined_delta(
+        self,
+        added: Sequence[Jungloid] = (),
+        removed: Sequence[Jungloid] = (),
+    ) -> MinedDelta:
+        """Apply a mined-suffix delta and record a selective invalidation.
+
+        Grafts ``added`` and ungrafts ``removed`` in one atomic-looking
+        step, then records on the graph exactly which query targets had
+        their shortest-distance maps invalidated: a changed edge
+        ``u → v`` can only alter distances *to* targets reachable
+        forward from ``v``, so the affected set is the forward closure of
+        the touched edges' head nodes (computed while both the old and
+        new edges are present, which over-approximates both directions
+        of the change). An empty delta leaves the revision untouched —
+        no cache anywhere needs to move.
+        """
+        added = list(added)
+        removed = list(removed)
+        if not added and not removed:
+            rev = self._revision
+            return MinedDelta((), (), 0, 0, frozenset(), rev, rev)
+        revision_before = self._revision
+        # Graft additions first: until the removals below run, the graph
+        # holds the union of the old and new edge sets, so one forward
+        # closure covers paths that appeared and paths that vanished.
+        added_paths = [self.add_mined_path(j) for j in added]
+        seeds: Set[Node] = {e.target for p in added_paths for e in p}
+        removed_paths: List[Tuple[Edge, ...]] = []
+        for jungloid in removed:
+            paths = self._paths_by_key.get(jungloid.steps)
+            if not paths:
+                raise KeyError(f"no mined path grafted for {jungloid.describe()}")
+            removed_paths.append(paths[-1])
+        for path in removed_paths:
+            seeds.update(e.target for e in path)
+        affected = self._forward_closure(seeds)
+        for jungloid in removed:
+            self.remove_mined_path(jungloid)
+        self.record_invalidation(revision_before, affected)
+        return MinedDelta(
+            added=tuple(added),
+            removed=tuple(removed),
+            edges_added=sum(len(p) for p in added_paths),
+            edges_removed=sum(len(p) for p in removed_paths),
+            affected_targets=affected,
+            revision_before=revision_before,
+            revision_after=self._revision,
+        )
+
+    def _forward_closure(self, seeds: Iterable[Node]) -> FrozenSet[Node]:
+        """All nodes reachable from ``seeds`` (inclusive) via out-edges."""
+        seen: Set[Node] = set()
+        stack = [s for s in seeds if self.has_node(s)]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for edge in self._out.get(node, ()):
+                if edge.target not in seen:
+                    stack.append(edge.target)
+        return frozenset(seen)
 
     # ------------------------------------------------------------------
     # Queries
@@ -83,6 +208,12 @@ class JungloidGraph(SignatureGraph):
     @property
     def mined_paths(self) -> Sequence[Tuple[Edge, ...]]:
         return tuple(self._mined_paths)
+
+    def mined_suffix_keys(self) -> Tuple[SuffixKey, ...]:
+        """Step sequences of every grafted path, in graft order."""
+        return tuple(
+            tuple(edge.elementary for edge in path) for path in self._mined_paths
+        )
 
     def typestate_nodes(self) -> Tuple[TypestateNode, ...]:
         return tuple(n for n in self.nodes if isinstance(n, TypestateNode))

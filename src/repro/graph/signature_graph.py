@@ -14,7 +14,7 @@ paths from ``t_in`` to ``t_out``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..jungloids import (
     ElementaryJungloid,
@@ -38,6 +38,11 @@ from ..typesystem import (
 from .nodes import Edge, Node, node_base_type
 
 
+#: Retained selective-invalidation records; older revisions fall back to
+#: a wholesale cache flush, so the cap only bounds memory, not safety.
+INVALIDATION_LOG_CAP = 32
+
+
 class SignatureGraph:
     """Directed multigraph of elementary jungloids over reference types."""
 
@@ -47,6 +52,12 @@ class SignatureGraph:
         self._in: Dict[Node, List[Edge]] = {}
         self._nodes: Set[Node] = set()
         self._revision = 0
+        #: ``(revision_before, revision_after, affected_targets)`` records
+        #: appended by delta applications that can bound which per-target
+        #: distance maps a mutation invalidated. Revision ranges *not*
+        #: covered by a record (raw ``add_edge``/``remove_edge`` calls)
+        #: force consumers back to a conservative full flush.
+        self._invalidation_log: List[Tuple[int, int, FrozenSet[Node]]] = []
 
     # ------------------------------------------------------------------
     # Construction
@@ -108,9 +119,26 @@ class SignatureGraph:
         self._revision += 1
         return edge
 
+    def remove_edge(self, edge: Edge) -> None:
+        """Remove one edge (first match by value); endpoints stay."""
+        try:
+            self._out[edge.source].remove(edge)
+            self._in[edge.target].remove(edge)
+        except (KeyError, ValueError):
+            raise ValueError(f"edge not in graph: {edge}") from None
+        self._revision += 1
+
+    def remove_node(self, node: Node) -> None:
+        """Remove an isolated node (no incident edges left)."""
+        if self._out.get(node) or self._in.get(node):
+            raise ValueError(f"node still has incident edges: {node}")
+        self._nodes.discard(node)
+        self._out.pop(node, None)
+        self._in.pop(node, None)
+
     @property
     def revision(self) -> int:
-        """Mutation counter; bumps on every edge insertion.
+        """Mutation counter; bumps on every edge insertion or removal.
 
         Distance caches and compiled kernel snapshots key on this so
         that grafting mined paths into an already-queried graph
@@ -118,6 +146,48 @@ class SignatureGraph:
         adjacency (see :mod:`repro.search.kernel`).
         """
         return self._revision
+
+    # ------------------------------------------------------------------
+    # Selective cache invalidation
+    # ------------------------------------------------------------------
+
+    def record_invalidation(self, revision_before: int, affected: Iterable[Node]) -> None:
+        """Record that the revision span ``(revision_before, revision]``
+        only invalidated per-target distance maps for ``affected`` nodes.
+
+        Delta applications (mined-path grafting/ungrafting) call this so
+        long-lived engines can keep distance maps for untouched targets
+        instead of flushing their whole LRU on every revision bump.
+        """
+        self._invalidation_log.append(
+            (revision_before, self._revision, frozenset(affected))
+        )
+        if len(self._invalidation_log) > INVALIDATION_LOG_CAP:
+            del self._invalidation_log[: -INVALIDATION_LOG_CAP]
+
+    def invalidated_targets_since(self, revision: int) -> Optional[FrozenSet[Node]]:
+        """Targets whose distance maps went stale after ``revision``.
+
+        Returns the union of affected targets when the whole revision
+        span since ``revision`` is covered by recorded delta
+        applications, or ``None`` when any part of the span is unlogged
+        (raw mutations, or records evicted past the log cap) — the
+        caller must then flush everything.
+        """
+        if revision == self._revision:
+            return frozenset()
+        affected: Set[Node] = set()
+        cursor = revision
+        for before, after, nodes in self._invalidation_log:
+            if after <= cursor:
+                continue
+            if before > cursor:
+                return None  # uncovered gap in the revision span
+            affected |= nodes
+            cursor = after
+        if cursor != self._revision:
+            return None
+        return frozenset(affected)
 
     def node_order(self) -> Tuple[Node, ...]:
         """Every node, in insertion order.

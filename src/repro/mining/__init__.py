@@ -10,6 +10,7 @@ from .extractor import (
 )
 from .generalize import (
     GeneralizedExample,
+    IncrementalGeneralizer,
     generalize_examples,
     generalize_to_suffixes,
     unique_suffixes,
@@ -33,6 +34,7 @@ __all__ = [
     "ExtractionConfig",
     "ExtractionFault",
     "GeneralizedExample",
+    "IncrementalGeneralizer",
     "JungloidExtractor",
     "MiningResult",
     "build_assignment_map",

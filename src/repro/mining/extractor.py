@@ -145,27 +145,41 @@ class JungloidExtractor:
         """
         examples: List[ExampleJungloid] = []
         for unit in self.units:
-            for cls in unit.classes:
-                for method in cls.methods:
-                    for expr in method_expressions(method):
-                        if not isinstance(expr, CastExpr):
-                            continue
-                        try:
-                            if self._is_downcast(expr):
-                                examples.extend(
-                                    self.extract_from_cast(unit, method, expr)
-                                )
-                        except Exception as exc:
-                            if self.config.strict:
-                                raise
-                            self.faults.append(
-                                ExtractionFault(
-                                    source=unit.source,
-                                    method=method.name,
-                                    position=str(expr.position),
-                                    error=f"{type(exc).__name__}: {exc}",
-                                )
+            examples.extend(self.extract_unit(unit))
+        return examples
+
+    def extract_unit(self, unit: CompilationUnit) -> List[ExampleJungloid]:
+        """Extract example jungloids whose final downcast sits in ``unit``.
+
+        The unit of incremental re-mining: the pipeline caches this
+        call's result per corpus-file fingerprint and replays only the
+        units whose content (or whose slicing dependencies) changed.
+        Slices may still cross into *other* units (client-call inlining
+        and caller jumps), which is why the pipeline tracks those
+        dependencies separately.
+        """
+        examples: List[ExampleJungloid] = []
+        for cls in unit.classes:
+            for method in cls.methods:
+                for expr in method_expressions(method):
+                    if not isinstance(expr, CastExpr):
+                        continue
+                    try:
+                        if self._is_downcast(expr):
+                            examples.extend(
+                                self.extract_from_cast(unit, method, expr)
                             )
+                    except Exception as exc:
+                        if self.config.strict:
+                            raise
+                        self.faults.append(
+                            ExtractionFault(
+                                source=unit.source,
+                                method=method.name,
+                                position=str(expr.position),
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        )
         return examples
 
     def extract_from_cast(

@@ -15,12 +15,19 @@ share its cast (never shallower than one elementary — a bare downcast
 would represent every jungloid with that cast, the catastrophic
 overgeneralization of Section 4.1). Cost is ``O(n·k)`` in the total
 number of elementary jungloids and cast types, as the paper reports.
+
+The trie is **incremental** (:class:`IncrementalGeneralizer`): cast
+occurrences are reference-counted per node, so examples from a re-mined
+corpus file can be removed and their replacements inserted without
+rebuilding the structure — the incremental pipeline's generalization
+stage. :func:`generalize_examples` is the one-shot wrapper over it and
+behaves exactly as before.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..jungloids import ElementaryJungloid, Jungloid
 from .extractor import ExampleJungloid
@@ -38,7 +45,8 @@ class _TrieNode:
 
     def __init__(self):
         self.children: Dict[ElementaryJungloid, "_TrieNode"] = {}
-        self.casts: Set[CastKey] = set()
+        #: Cast key → number of live examples with that cast beneath here.
+        self.casts: Dict[CastKey, int] = {}
 
 
 @dataclass(frozen=True)
@@ -53,6 +61,119 @@ class GeneralizedExample:
         return len(self.example.jungloid) - len(self.suffix)
 
 
+def _is_casted(example: ExampleJungloid) -> bool:
+    steps = example.jungloid.steps
+    return bool(steps) and steps[-1].is_downcast
+
+
+class IncrementalGeneralizer:
+    """A reference-counted cast trie supporting insert *and* remove.
+
+    Per-node cast sets become counts so removing an example exactly
+    undoes its insertion; whole-trie recomputation is never needed when
+    the corpus changes, only re-walking the live examples' suffixes
+    (which is the same ``O(n·k)`` pass a fresh build would do, minus the
+    structure building).
+    """
+
+    def __init__(self, min_precast_steps: int = 1):
+        self.min_precast_steps = int(min_precast_steps)
+        self._root = _TrieNode()
+        self._live = 0
+
+    @property
+    def live_examples(self) -> int:
+        """Number of casted examples currently inserted."""
+        return self._live
+
+    def insert(self, example: ExampleJungloid) -> bool:
+        """Add one example's pre-cast path; no-op for cast-free examples."""
+        if not _is_casted(example):
+            return False
+        key = _cast_key(example.jungloid.steps[-1])
+        node = self._root
+        node.casts[key] = node.casts.get(key, 0) + 1
+        for step in reversed(example.jungloid.steps[:-1]):
+            child = node.children.get(step)
+            if child is None:
+                child = _TrieNode()
+                node.children[step] = child
+            child.casts[key] = child.casts.get(key, 0) + 1
+            node = child
+        self._live += 1
+        return True
+
+    def remove(self, example: ExampleJungloid) -> bool:
+        """Exactly undo one prior :meth:`insert` of an equal example.
+
+        Raises :class:`KeyError` when no equal example is live.
+        """
+        if not _is_casted(example):
+            return False
+        key = _cast_key(example.jungloid.steps[-1])
+        walk: List[Tuple[Optional[_TrieNode], Optional[ElementaryJungloid], _TrieNode]] = [
+            (None, None, self._root)
+        ]
+        node = self._root
+        for step in reversed(example.jungloid.steps[:-1]):
+            child = node.children.get(step)
+            if child is None:
+                raise KeyError(f"example was never inserted: {example.jungloid.describe()}")
+            walk.append((node, step, child))
+            node = child
+        if any(n.casts.get(key, 0) <= 0 for _, _, n in walk):
+            raise KeyError(f"example was never inserted: {example.jungloid.describe()}")
+        for _, _, n in walk:
+            n.casts[key] -= 1
+            if n.casts[key] == 0:
+                del n.casts[key]
+        # Prune now-empty nodes from the deep end up.
+        for parent, step, child in reversed(walk):
+            if parent is None:
+                break
+            if child.casts or child.children:
+                break
+            del parent.children[step]
+        self._live -= 1
+        return True
+
+    def suffix_for(self, example: ExampleJungloid) -> Jungloid:
+        """The example's shortest distinguishing suffix under the current trie."""
+        pre_cast = example.jungloid.steps[:-1]
+        key = _cast_key(example.jungloid.steps[-1])
+        node = self._root
+        retained: Optional[int] = None
+        for depth, step in enumerate(reversed(pre_cast), start=1):
+            node = node.children[step]
+            if (
+                depth >= self.min_precast_steps
+                and len(node.casts) == 1
+                and key in node.casts
+            ):
+                retained = depth
+                break
+        if retained is None:
+            retained = len(pre_cast)
+        retained = max(retained, min(self.min_precast_steps, len(pre_cast)))
+        suffix_steps = pre_cast[len(pre_cast) - retained :] + (example.jungloid.steps[-1],)
+        return Jungloid(suffix_steps)
+
+    def generalize(
+        self, examples: Iterable[ExampleJungloid]
+    ) -> List[GeneralizedExample]:
+        """Suffixes for ``examples`` (cast-free ones skipped), in order.
+
+        Every casted example must currently be inserted; conflicts are
+        judged against *all* live examples, so callers pass the full
+        corpus population here after applying their inserts/removes.
+        """
+        return [
+            GeneralizedExample(e, self.suffix_for(e))
+            for e in examples
+            if _is_casted(e)
+        ]
+
+
 def generalize_examples(
     examples: Sequence[ExampleJungloid], min_precast_steps: int = 1
 ) -> List[GeneralizedExample]:
@@ -61,37 +182,10 @@ def generalize_examples(
     ``min_precast_steps`` is the minimum number of pre-cast elementary
     jungloids always retained (default 1: never a bare downcast).
     """
-    casted = [e for e in examples if e.jungloid.steps and e.jungloid.steps[-1].is_downcast]
-    root = _TrieNode()
-    for example in casted:
-        key = _cast_key(example.final_cast)
-        node = root
-        node.casts.add(key)
-        for step in reversed(example.jungloid.steps[:-1]):
-            child = node.children.get(step)
-            if child is None:
-                child = _TrieNode()
-                node.children[step] = child
-            child.casts.add(key)
-            node = child
-
-    results: List[GeneralizedExample] = []
-    for example in casted:
-        pre_cast = example.jungloid.steps[:-1]
-        key = _cast_key(example.final_cast)
-        node = root
-        retained: Optional[int] = None
-        for depth, step in enumerate(reversed(pre_cast), start=1):
-            node = node.children[step]
-            if depth >= min_precast_steps and node.casts == {key}:
-                retained = depth
-                break
-        if retained is None:
-            retained = len(pre_cast)
-        retained = max(retained, min(min_precast_steps, len(pre_cast)))
-        suffix_steps = pre_cast[len(pre_cast) - retained :] + (example.jungloid.steps[-1],)
-        results.append(GeneralizedExample(example, Jungloid(suffix_steps)))
-    return results
+    generalizer = IncrementalGeneralizer(min_precast_steps)
+    for example in examples:
+        generalizer.insert(example)
+    return generalizer.generalize(examples)
 
 
 def unique_suffixes(generalized: Sequence[GeneralizedExample]) -> List[Jungloid]:

@@ -1,0 +1,50 @@
+"""Incremental jungloid-graph pipeline: staged, fingerprinted builds.
+
+See :mod:`.pipeline` for the stage breakdown. The public surface:
+
+* :class:`CorpusPipeline` — build once, then :meth:`~CorpusPipeline.update`
+  with file-level edits; only touched artifacts recompute.
+* :class:`FileMineRecord` / stage (de)serializers — the persistable
+  per-file artifacts the snapshot sidecar stores.
+* fingerprint helpers — content hashing and diffing for corpus files.
+"""
+
+from .artifacts import (
+    DepFingerprint,
+    FileMineRecord,
+    STAGE_FORMAT,
+    StageFormatError,
+    check_stage_dict,
+    stages_to_dict,
+)
+from .delta import SuffixDelta, compute_suffix_delta, suffix_map
+from .fingerprint import (
+    FingerprintDiff,
+    diff_fingerprints,
+    fingerprint_text,
+    fingerprint_texts,
+)
+from .pipeline import (
+    CorpusPipeline,
+    PipelineUpdateStats,
+    StageTimings,
+)
+
+__all__ = [
+    "CorpusPipeline",
+    "DepFingerprint",
+    "FileMineRecord",
+    "FingerprintDiff",
+    "PipelineUpdateStats",
+    "STAGE_FORMAT",
+    "StageFormatError",
+    "StageTimings",
+    "SuffixDelta",
+    "check_stage_dict",
+    "compute_suffix_delta",
+    "diff_fingerprints",
+    "fingerprint_text",
+    "fingerprint_texts",
+    "stages_to_dict",
+    "suffix_map",
+]

@@ -1,0 +1,47 @@
+"""Suffix-set deltas between two generalization outputs.
+
+The grafting stage of the incremental pipeline doesn't rebuild the
+jungloid graph; it compares the previous update's deduplicated suffix
+set with the new one and asks the graph to splice/unsplice exactly the
+difference. Suffix identity is the elementary-step sequence (the same
+key :func:`repro.mining.generalize.unique_suffixes` dedups on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..jungloids import ElementaryJungloid, Jungloid
+
+SuffixKey = Tuple[ElementaryJungloid, ...]
+
+
+@dataclass(frozen=True)
+class SuffixDelta:
+    """Mined suffixes that appeared / vanished across one corpus update."""
+
+    added: Tuple[Jungloid, ...]
+    removed: Tuple[Jungloid, ...]
+    kept: int
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.added and not self.removed
+
+
+def suffix_map(suffixes: Sequence[Jungloid]) -> Dict[SuffixKey, Jungloid]:
+    """Key suffixes by step sequence, first occurrence winning."""
+    out: Dict[SuffixKey, Jungloid] = {}
+    for j in suffixes:
+        out.setdefault(j.steps, j)
+    return out
+
+
+def compute_suffix_delta(
+    old: Dict[SuffixKey, Jungloid], new: Dict[SuffixKey, Jungloid]
+) -> SuffixDelta:
+    """What changed between two suffix maps, in stable insertion order."""
+    added = tuple(j for key, j in new.items() if key not in old)
+    removed = tuple(j for key, j in old.items() if key not in new)
+    return SuffixDelta(added=added, removed=removed, kept=len(new) - len(added))

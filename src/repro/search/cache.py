@@ -12,7 +12,7 @@ recently used ``max_targets`` and drops everything when the graph's
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Generic, Hashable, Optional, TypeVar
+from typing import Any, Generic, Hashable, Iterable, Optional, TypeVar
 
 V = TypeVar("V")
 
@@ -62,6 +62,20 @@ class LRUDistanceCache(Generic[V]):
     def clear(self) -> None:
         """Drop every entry (revision bump: all distances are stale)."""
         self._entries.clear()
+
+    def invalidate(self, targets: "Iterable[Hashable]") -> int:
+        """Drop only the entries for ``targets``; returns how many fell.
+
+        Selective alternative to :meth:`clear` for delta graph updates
+        that report exactly which query targets went stale (see
+        ``SignatureGraph.invalidated_targets_since``). Entries for other
+        targets — and their LRU positions and hit statistics — survive.
+        """
+        dropped = 0
+        for target in targets:
+            if self._entries.pop(target, None) is not None:
+                dropped += 1
+        return dropped
 
     def stats(self) -> dict:
         return {

@@ -535,9 +535,22 @@ class GraphSearch:
         """
         revision = getattr(self.graph, "revision", 0)
         if revision != self._dist_cache_revision:
-            # The graph grew (e.g. mined paths grafted in); distances
-            # computed against the old edge set are stale.
-            self._dist_cache.clear()
+            # The graph changed (e.g. mined paths grafted in or removed).
+            # When the graph can bound which targets the mutations touched
+            # (delta grafting records an invalidation log), drop only
+            # those maps; otherwise distances computed against the old
+            # edge set are all potentially stale — flush everything.
+            affected = None
+            probe = getattr(self.graph, "invalidated_targets_since", None)
+            if probe is not None:
+                try:
+                    affected = probe(self._dist_cache_revision)
+                except Exception:
+                    affected = None
+            if affected is None:
+                self._dist_cache.clear()
+            else:
+                self._dist_cache.invalidate(affected)
             self._dist_cache_revision = revision
         cached = self._dist_cache.get(target)
         if cached is not None:

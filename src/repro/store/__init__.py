@@ -49,6 +49,15 @@ from .recovery import (
     repair,
     verify_snapshot,
 )
+from .stages import (
+    STAGE_SIDECAR_FORMAT,
+    STAGE_SIDECAR_SUFFIX,
+    STAGE_SIDECAR_VERSION,
+    load_stage_sidecar,
+    save_stage_sidecar,
+    stage_sidecar_path,
+    try_load_stage_sidecar,
+)
 from .snapshot import (
     LoadedSnapshot,
     PREVIOUS_SUFFIX,
@@ -79,6 +88,9 @@ __all__ = [
     "SNAPSHOT_FORMAT",
     "STAGE_READ",
     "STAGE_REBUILD",
+    "STAGE_SIDECAR_FORMAT",
+    "STAGE_SIDECAR_SUFFIX",
+    "STAGE_SIDECAR_VERSION",
     "STAGE_VERIFY",
     "STORE_LADDER",
     "SnapshotCorruptError",
@@ -97,8 +109,12 @@ __all__ = [
     "audit_counts",
     "audit_graph",
     "audit_mined",
+    "load_stage_sidecar",
     "load_with_recovery",
     "payload_digest",
     "repair",
+    "save_stage_sidecar",
+    "stage_sidecar_path",
+    "try_load_stage_sidecar",
     "verify_snapshot",
 ]

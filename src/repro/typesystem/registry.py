@@ -139,6 +139,36 @@ class TypeRegistry:
         decl.constructors.append(c)
         return c
 
+    def clone(self) -> "TypeRegistry":
+        """A structurally independent copy of this registry.
+
+        Declarations get fresh :class:`TypeDeclaration` shells (so corpus
+        resolution can patch supertypes or append members without leaking
+        back), while the member objects themselves — frozen value types —
+        are shared. This is the cheap path the corpus loader uses instead
+        of a JSON serialization round trip.
+        """
+        other = TypeRegistry.__new__(TypeRegistry)
+        other._declarations = {
+            name: TypeDeclaration(
+                type=decl.type,
+                kind=decl.kind,
+                superclass=decl.superclass,
+                interfaces=decl.interfaces,
+                fields=list(decl.fields),
+                methods=list(decl.methods),
+                constructors=list(decl.constructors),
+                abstract=decl.abstract,
+            )
+            for name, decl in self._declarations.items()
+        }
+        other._by_simple = {k: list(v) for k, v in self._by_simple.items()}
+        other._subtype_cache = {}
+        other._supertypes_cache = {}
+        other._subclasses = {}
+        other.object_type = self.object_type
+        return other
+
     def _invalidate_caches(self) -> None:
         self._subtype_cache.clear()
         self._supertypes_cache.clear()

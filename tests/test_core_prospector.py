@@ -118,3 +118,63 @@ class TestSynthesisResults:
     def test_str(self, small_prospector):
         result = small_prospector.query("demo.io.InputStream", "demo.io.BufferedReader")[0]
         assert str(result).startswith("#1 ")
+
+
+class TestConfigDefaults:
+    def test_default_subconfigs_are_not_shared(self):
+        from repro.core import ProspectorConfig
+
+        a = ProspectorConfig()
+        b = ProspectorConfig()
+        # field(default_factory=...) — mutating one default must never
+        # leak into configs constructed elsewhere.
+        assert a.extraction is not b.extraction
+        assert a.search is not b.search
+        assert a.extraction == b.extraction
+        assert a.search == b.search
+
+
+class TestUpdateCorpus:
+    def test_update_matches_fresh_build(self, small_registry):
+        from repro.corpus import load_corpus_texts
+
+        from .conftest import SMALL_CORPUS
+
+        live = Prospector(
+            small_registry,
+            load_corpus_texts(small_registry, [("handler.mj", SMALL_CORPUS)]),
+        )
+        stats = live.update_corpus(
+            upserts=[("handler.mj", SMALL_CORPUS + "\n// note\n")]
+        )
+        assert stats.files_remined == ("handler.mj",)
+        fresh = Prospector(
+            small_registry,
+            load_corpus_texts(
+                small_registry, [("handler.mj", SMALL_CORPUS + "\n// note\n")]
+            ),
+        )
+        query = ("demo.ui.ISelection", "demo.ui.Item")
+        assert [s.jungloid.render_expression("x") for s in live.query(*query)] == [
+            s.jungloid.render_expression("x") for s in fresh.query(*query)
+        ]
+
+    def test_update_refreshes_argument_mining(self, small_registry):
+        from repro.corpus import load_corpus_texts
+
+        from .conftest import SMALL_CORPUS
+
+        live = Prospector(
+            small_registry,
+            load_corpus_texts(small_registry, [("handler.mj", SMALL_CORPUS)]),
+        )
+        live._argument_examples()  # prime the lazy cache
+        live.update_corpus(removes=["handler.mj"])
+        assert live._argument_examples() == []
+
+    def test_update_without_pipeline_raises(self, small_registry):
+        import pytest
+
+        bare = Prospector(small_registry)
+        with pytest.raises(RuntimeError):
+            bare.update_corpus(upserts=[("a.mj", "package p; public class A {}")])

@@ -1,0 +1,136 @@
+"""Tests for delta grafting: un-splicing mined paths and the
+selective-invalidation log the search cache consumes."""
+
+import pytest
+
+from repro.graph import INVALIDATION_LOG_CAP, JungloidGraph
+from repro.jungloids import Jungloid, downcast, instance_call
+from repro.typesystem import Method, named
+
+
+def _graph(small_registry):
+    return JungloidGraph.build(small_registry)
+
+
+def _edge_set(graph):
+    return {
+        (edge.source, edge.target, edge.elementary.describe())
+        for node in graph.nodes
+        for edge in graph.out_edges(node)
+    }
+
+
+def sel_to_item(registry):
+    sel = registry.lookup("demo.ui.ISelection")
+    item = registry.lookup("demo.ui.Item")
+    return Jungloid((downcast(sel, item),))
+
+
+def reader_chain(registry):
+    sel = registry.lookup("demo.ui.ISelection")
+    ss = registry.lookup("demo.ui.IStructuredSelection")
+    obj = named("java.lang.Object")
+    item = registry.lookup("demo.ui.Item")
+    first = instance_call(Method(ss, "getFirstElement", obj))[0]
+    return Jungloid((downcast(sel, ss), first, downcast(obj, item)))
+
+
+class TestRemoveMinedPath:
+    def test_remove_reverses_add(self, small_registry):
+        graph = _graph(small_registry)
+        before_edges = _edge_set(graph)
+        before_nodes = set(graph.nodes)
+        mined = reader_chain(small_registry)
+        graph.add_mined_path(mined)
+        assert _edge_set(graph) != before_edges
+        graph.remove_mined_path(mined)
+        assert _edge_set(graph) == before_edges
+        assert set(graph.nodes) == before_nodes
+
+    def test_remove_unknown_raises(self, small_registry):
+        graph = _graph(small_registry)
+        with pytest.raises(KeyError):
+            graph.remove_mined_path(sel_to_item(small_registry))
+
+    def test_remove_one_of_two_equal_paths_keeps_the_other(self, small_registry):
+        graph = _graph(small_registry)
+        mined = sel_to_item(small_registry)
+        graph.add_mined_path(mined)
+        graph.add_mined_path(sel_to_item(small_registry))
+        graph.remove_mined_path(mined)
+        assert mined.steps in graph.mined_suffix_keys()
+        graph.remove_mined_path(mined)
+        assert mined.steps not in graph.mined_suffix_keys()
+
+
+class TestApplyMinedDelta:
+    def test_empty_delta_is_noop(self, small_registry):
+        graph = _graph(small_registry)
+        revision = graph.revision
+        delta = graph.apply_mined_delta((), ())
+        assert delta.is_noop
+        assert graph.revision == revision
+
+    def test_incremental_equals_fresh(self, small_registry):
+        a = sel_to_item(small_registry)
+        b = reader_chain(small_registry)
+        fresh = JungloidGraph.build(small_registry, [a, b])
+        grown = JungloidGraph.build(small_registry, [a])
+        grown.apply_mined_delta([b], [])
+        assert _edge_set(grown) == _edge_set(fresh)
+        assert set(grown.nodes) == set(fresh.nodes)
+        shrunk = JungloidGraph.build(small_registry, [a, b])
+        shrunk.apply_mined_delta([], [b])
+        assert _edge_set(shrunk) == _edge_set(JungloidGraph.build(small_registry, [a]))
+
+    def test_affected_targets_cover_forward_closure(self, small_registry):
+        graph = _graph(small_registry)
+        delta = graph.apply_mined_delta([sel_to_item(small_registry)], [])
+        item = small_registry.lookup("demo.ui.Item")
+        widget = small_registry.lookup("demo.ui.Widget")
+        # The new edge lands on Item; Item widens to Widget downstream.
+        assert item in delta.affected_targets
+        assert widget in delta.affected_targets
+        # A type no API member produces is unreachable from the new
+        # edge, hence unaffected.
+        assert small_registry.lookup("demo.io.InputStream") not in delta.affected_targets
+
+    def test_delta_records_selective_invalidation(self, small_registry):
+        graph = _graph(small_registry)
+        before = graph.revision
+        delta = graph.apply_mined_delta([sel_to_item(small_registry)], [])
+        assert graph.invalidated_targets_since(before) == delta.affected_targets
+        assert graph.invalidated_targets_since(graph.revision) == frozenset()
+
+    def test_log_unions_consecutive_deltas(self, small_registry):
+        graph = _graph(small_registry)
+        before = graph.revision
+        d1 = graph.apply_mined_delta([sel_to_item(small_registry)], [])
+        d2 = graph.apply_mined_delta([reader_chain(small_registry)], [])
+        assert graph.invalidated_targets_since(before) == (
+            d1.affected_targets | d2.affected_targets
+        )
+
+
+class TestInvalidationLogGaps:
+    def test_unlogged_mutation_forces_full_flush(self, small_registry):
+        """add_mined_path bumps the revision without logging a delta, so
+        the log has a gap and must answer None (flush everything)."""
+        graph = _graph(small_registry)
+        before = graph.revision
+        graph.add_mined_path(sel_to_item(small_registry))
+        assert graph.invalidated_targets_since(before) is None
+
+    def test_log_cap_evicts_oldest_coverage(self, small_registry):
+        graph = _graph(small_registry)
+        before = graph.revision
+        mined = sel_to_item(small_registry)
+        for _ in range(INVALIDATION_LOG_CAP + 1):
+            graph.apply_mined_delta([mined], [])
+            graph.apply_mined_delta([], [mined])
+        # Twice the cap in deltas: the early records are gone.
+        assert graph.invalidated_targets_since(before) is None
+        # But a recent revision is still covered.
+        recent = graph.revision
+        graph.apply_mined_delta([mined], [])
+        assert graph.invalidated_targets_since(recent) is not None

@@ -126,3 +126,89 @@ class TestSuffixSets:
             n = len(g.suffix)
             assert g.example.jungloid.steps[-n:] == g.suffix.steps
             assert g.suffix.steps[-1].is_downcast
+
+
+class TestEdgeCases:
+    def test_duplicate_examples_same_cast(self):
+        # The same slice mined twice (e.g. copy-pasted corpus code) must
+        # not conflict with itself: both keep the minimal suffix.
+        gens = generalize_examples(
+            [
+                example(MAKE_A, GET_TARGETS, GET, CAST_T),
+                example(MAKE_A, GET_TARGETS, GET, CAST_T, tag="copy.mj"),
+            ]
+        )
+        assert len(gens) == 2
+        for g in gens:
+            assert chain_signature(g.suffix) == ("H.get", "cast T")
+
+    def test_single_example_corpus(self):
+        [g] = generalize_examples([example(GET, CAST_T)])
+        assert chain_signature(g.suffix) == ("H.get", "cast T")
+        assert g.trimmed_steps == 0
+
+    def test_identical_paths_different_casts_both_survive(self):
+        gens = generalize_examples(
+            [
+                example(MAKE_A, GET_TARGETS, GET, CAST_T),
+                example(MAKE_A, GET_TARGETS, GET, CAST_U),
+            ]
+        )
+        # Full-path retention for both; neither example is dropped.
+        assert len(gens) == 2
+        assert {g.suffix.output_type for g in gens} == {T, U}
+
+
+class TestIncrementalGeneralizer:
+    def examples(self):
+        return [
+            example(MAKE_A, GET_TARGETS, GET, CAST_T),
+            example(OTHER_A, GET_TARGETS, GET, CAST_T),
+            example(MAKE_A, GET_PROPS, GET, CAST_U),
+        ]
+
+    def test_insert_matches_batch(self):
+        from repro.mining import IncrementalGeneralizer
+
+        examples = self.examples()
+        inc = IncrementalGeneralizer()
+        for e in examples:
+            assert inc.insert(e)
+        batch = generalize_examples(examples)
+        assert [g.suffix.steps for g in inc.generalize(examples)] == [
+            g.suffix.steps for g in batch
+        ]
+
+    def test_remove_restores_earlier_state(self):
+        from repro.mining import IncrementalGeneralizer
+
+        examples = self.examples()
+        inc = IncrementalGeneralizer()
+        inc.insert(examples[0])
+        before = inc.suffix_for(examples[0]).steps
+        # Adding then removing the conflicting U example must restore
+        # the original (shorter) suffix for the T example.
+        inc.insert(examples[2])
+        widened = inc.suffix_for(examples[0]).steps
+        assert len(widened) > len(before)
+        assert inc.remove(examples[2])
+        assert inc.suffix_for(examples[0]).steps == before
+
+    def test_remove_unknown_raises(self):
+        import pytest
+
+        from repro.mining import IncrementalGeneralizer
+
+        inc = IncrementalGeneralizer()
+        inc.insert(example(MAKE_A, GET_TARGETS, GET, CAST_T))
+        with pytest.raises(KeyError):
+            inc.remove(example(GET_PROPS, GET, CAST_U))
+
+    def test_non_cast_examples_are_ignored(self):
+        from repro.mining import IncrementalGeneralizer
+
+        inc = IncrementalGeneralizer()
+        plain = example(MAKE_A, GET_TARGETS)
+        assert not inc.insert(plain)
+        assert not inc.remove(plain)
+        assert inc.generalize([plain]) == []

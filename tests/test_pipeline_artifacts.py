@@ -1,0 +1,173 @@
+"""Tests for stage artifacts: fingerprints, per-file record round-trips,
+the snapshot stage sidecar, and incremental restarts."""
+
+import json
+
+import pytest
+
+from repro import Prospector
+from repro.corpus import load_corpus_texts
+from repro.pipeline import (
+    CorpusPipeline,
+    FileMineRecord,
+    StageFormatError,
+    check_stage_dict,
+    diff_fingerprints,
+    fingerprint_text,
+    fingerprint_texts,
+)
+from repro.store import (
+    SnapshotCorruptError,
+    load_stage_sidecar,
+    save_stage_sidecar,
+    stage_sidecar_path,
+    try_load_stage_sidecar,
+)
+
+from .conftest import SMALL_CORPUS
+
+
+class TestFingerprints:
+    def test_deterministic_and_content_sensitive(self):
+        assert fingerprint_text("abc") == fingerprint_text("abc")
+        assert fingerprint_text("abc") != fingerprint_text("abd")
+
+    def test_duplicate_source_names_rejected(self):
+        with pytest.raises(ValueError):
+            fingerprint_texts([("a.mj", "x"), ("a.mj", "y")])
+
+    def test_diff_categories(self):
+        old = fingerprint_texts([("a.mj", "1"), ("b.mj", "2"), ("c.mj", "3")])
+        new = fingerprint_texts([("a.mj", "1"), ("b.mj", "2x"), ("d.mj", "4")])
+        diff = diff_fingerprints(old, new)
+        assert diff.added == ("d.mj",)
+        assert diff.changed == ("b.mj",)
+        assert diff.removed == ("c.mj",)
+        assert diff.unchanged == ("a.mj",)
+        assert not diff.is_empty
+        assert diff_fingerprints(old, old).is_empty
+
+
+@pytest.fixture()
+def small_pipeline(small_registry):
+    return CorpusPipeline.build(small_registry, [("handler.mj", SMALL_CORPUS)])
+
+
+class TestRecordRoundTrip:
+    def test_record_survives_dict_round_trip(self, small_pipeline):
+        registry = small_pipeline.program.registry
+        for record in small_pipeline.records.values():
+            back = FileMineRecord.from_dict(registry, record.to_dict())
+            assert back.source == record.source
+            assert back.fingerprint == record.fingerprint
+            assert back.examples == record.examples
+            assert back.faults == record.faults
+            assert back.decl_deps == record.decl_deps
+            assert back.site_deps == record.site_deps
+            assert back.type_deps == record.type_deps
+
+    def test_stage_dict_is_json_safe(self, small_pipeline):
+        data = small_pipeline.to_stage_dict()
+        check_stage_dict(json.loads(json.dumps(data)))
+
+    def test_check_rejects_foreign_or_incomplete_dicts(self, small_pipeline):
+        with pytest.raises(StageFormatError):
+            check_stage_dict({"format": "something-else"})
+        data = small_pipeline.to_stage_dict()
+        del data["records"]
+        with pytest.raises(StageFormatError):
+            check_stage_dict(data)
+
+
+class TestFromArtifacts:
+    def test_restart_reuses_cached_records(self, small_registry, small_pipeline):
+        data = json.loads(json.dumps(small_pipeline.to_stage_dict()))
+        reborn = CorpusPipeline.from_artifacts(small_registry, data)
+        assert [j.steps for j in reborn.suffixes] == [
+            j.steps for j in small_pipeline.suffixes
+        ]
+        # The rebuild mined nothing: every record came from the artifacts.
+        assert reborn.last_stats.files_remined == ()
+        assert reborn.last_stats.files_reused == 1
+
+    def test_changed_extraction_config_discards_cache(
+        self, small_registry, small_pipeline
+    ):
+        from repro.mining import ExtractionConfig
+
+        data = small_pipeline.to_stage_dict()
+        reborn = CorpusPipeline.from_artifacts(
+            small_registry, data, extraction=ExtractionConfig(max_steps=3)
+        )
+        # Config mismatch: cached examples may be stale, so re-mine all.
+        assert reborn.last_stats.files_remined == ("handler.mj",)
+
+
+class TestSidecar:
+    def test_save_load_round_trip(self, tmp_path, small_pipeline):
+        snap = tmp_path / "g.snap"
+        payload = small_pipeline.to_stage_dict()
+        written = save_stage_sidecar(snap, payload)
+        assert written == stage_sidecar_path(snap)
+        assert load_stage_sidecar(snap) == json.loads(json.dumps(payload))
+
+    def test_missing_and_damaged_sidecars(self, tmp_path, small_pipeline):
+        snap = tmp_path / "g.snap"
+        assert try_load_stage_sidecar(snap) is None
+        path = save_stage_sidecar(snap, small_pipeline.to_stage_dict())
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF  # flip one payload byte
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotCorruptError):
+            load_stage_sidecar(snap)
+        assert try_load_stage_sidecar(snap) is None
+
+    def test_truncated_sidecar_rejected(self, tmp_path, small_pipeline):
+        snap = tmp_path / "g.snap"
+        path = save_stage_sidecar(snap, small_pipeline.to_stage_dict())
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 10])
+        with pytest.raises(SnapshotCorruptError):
+            load_stage_sidecar(snap)
+
+
+class TestProspectorRestart:
+    def queries(self):
+        return [("demo.ui.ISelection", "demo.ui.Item")]
+
+    def answers(self, prospector):
+        return [
+            [s.jungloid.render_expression("x") for s in prospector.query(a, b)]
+            for a, b in self.queries()
+        ]
+
+    def test_snapshot_restart_stays_incremental(self, tmp_path, small_registry):
+        corpus = load_corpus_texts(small_registry, [("handler.mj", SMALL_CORPUS)])
+        first = Prospector(small_registry, corpus)
+        snap = tmp_path / "g.snap"
+        first.save_snapshot(snap)
+        assert stage_sidecar_path(snap).exists()
+
+        second = Prospector.from_snapshot(snap)
+        assert second.pipeline is not None
+        assert self.answers(second) == self.answers(first)
+        # The restart can update incrementally: untouched files reuse
+        # their persisted records.
+        stats = second.update_corpus(
+            upserts=[("handler.mj", SMALL_CORPUS + "\n// touched\n")]
+        )
+        assert stats.files_remined == ("handler.mj",)
+        assert self.answers(second) == self.answers(first)
+
+    def test_damaged_sidecar_degrades_to_query_only(self, tmp_path, small_registry):
+        corpus = load_corpus_texts(small_registry, [("handler.mj", SMALL_CORPUS)])
+        first = Prospector(small_registry, corpus)
+        snap = tmp_path / "g.snap"
+        first.save_snapshot(snap)
+        stage_sidecar_path(snap).write_bytes(b"garbage\nnot json")
+
+        second = Prospector.from_snapshot(snap)
+        assert second.pipeline is None  # sidecar unusable, snapshot fine
+        assert self.answers(second) == self.answers(first)
+        with pytest.raises(RuntimeError):
+            second.update_corpus(upserts=[("handler.mj", SMALL_CORPUS)])

@@ -1,0 +1,219 @@
+"""Differential tests for the incremental pipeline: every scripted
+sequence of corpus edits must leave the ranked answers byte-identical to
+a from-scratch build of the same final texts."""
+
+import pytest
+
+from repro import Prospector
+from repro.corpus import load_corpus_texts
+from repro.eval import TABLE1_PROBLEMS
+from repro.pipeline import CorpusPipeline
+from repro.typesystem import named
+
+from .conftest import SMALL_CORPUS
+
+#: A second client for the small corpus: same API, a different route to
+#: an Item plus a reader-side chain, so edits move real mined suffixes.
+SMALL_CORPUS_B = """
+package client;
+
+import demo.ui.Panel;
+import demo.ui.Widget;
+import demo.ui.Item;
+
+public class Picker {
+  public Item firstWidgetItem(Panel panel) {
+    Widget w = panel.widget;
+    Item item = (Item) w;
+    return item;
+  }
+}
+"""
+
+SMALL_CORPUS_C = """
+package client;
+
+import demo.ui.Viewer;
+import demo.ui.IStructuredSelection;
+
+public class Chooser {
+  public Object firstOf(Viewer viewer) {
+    IStructuredSelection ss = (IStructuredSelection) viewer.getSelection();
+    return ss.getFirstElement();
+  }
+}
+"""
+
+
+def ranked_answers(prospector, queries):
+    return [
+        [
+            s.jungloid.render_expression("x")
+            for s in prospector.query(t_in, t_out)
+        ]
+        for t_in, t_out in queries
+    ]
+
+
+SMALL_QUERIES = [
+    ("demo.ui.ISelection", "demo.ui.Item"),
+    ("demo.ui.Panel", "demo.ui.Item"),
+    ("demo.ui.Viewer", "java.lang.Object"),
+    ("demo.io.InputStream", "java.lang.String"),
+]
+
+
+def small_prospector_for(registry, texts):
+    return Prospector(registry, load_corpus_texts(registry, texts))
+
+
+def assert_matches_scratch(registry, live, texts, queries):
+    scratch = small_prospector_for(registry, texts)
+    assert ranked_answers(live, queries) == ranked_answers(scratch, queries)
+
+
+class TestScriptedSequences:
+    """Three scripted update sequences, each differentially checked
+    against a from-scratch build after every step."""
+
+    def test_sequence_modify(self, small_registry):
+        texts = [("handler.mj", SMALL_CORPUS)]
+        live = small_prospector_for(small_registry, texts)
+        # Step 1: append a class that mines a shorter cast route.
+        addon = """
+public class Shortcut {
+  public Item direct(Viewer viewer) {
+    Item item = (Item) viewer.getSelection();
+    return item;
+  }
+}
+"""
+        texts = [("handler.mj", SMALL_CORPUS + addon)]
+        live.update_corpus(upserts=texts)
+        assert_matches_scratch(small_registry, live, texts, SMALL_QUERIES)
+        # Step 2: revert to the original.
+        texts = [("handler.mj", SMALL_CORPUS)]
+        live.update_corpus(upserts=texts)
+        assert_matches_scratch(small_registry, live, texts, SMALL_QUERIES)
+
+    def test_sequence_add_remove(self, small_registry):
+        texts = [("handler.mj", SMALL_CORPUS)]
+        live = small_prospector_for(small_registry, texts)
+        # Add two files, one at a time.
+        texts = texts + [("picker.mj", SMALL_CORPUS_B)]
+        live.update_corpus(upserts=[("picker.mj", SMALL_CORPUS_B)])
+        assert_matches_scratch(small_registry, live, texts, SMALL_QUERIES)
+        texts = texts + [("chooser.mj", SMALL_CORPUS_C)]
+        live.update_corpus(upserts=[("chooser.mj", SMALL_CORPUS_C)])
+        assert_matches_scratch(small_registry, live, texts, SMALL_QUERIES)
+        # Remove the original file: its suffixes must un-splice.
+        texts = texts[1:]
+        live.update_corpus(removes=["handler.mj"])
+        assert_matches_scratch(small_registry, live, texts, SMALL_QUERIES)
+
+    def test_sequence_mixed(self, small_registry):
+        texts = [
+            ("handler.mj", SMALL_CORPUS),
+            ("picker.mj", SMALL_CORPUS_B),
+            ("chooser.mj", SMALL_CORPUS_C),
+        ]
+        live = small_prospector_for(small_registry, texts)
+        # One update that adds, changes, and removes at once.
+        changed = SMALL_CORPUS_B + "\n// trailing note\n"
+        texts = [
+            ("handler.mj", SMALL_CORPUS),
+            ("picker.mj", changed),
+            ("extra.mj", SMALL_CORPUS_C.replace("Chooser", "Second")),
+        ]
+        stats = live.update_corpus(
+            upserts=[
+                ("picker.mj", changed),
+                ("extra.mj", SMALL_CORPUS_C.replace("Chooser", "Second")),
+            ],
+            removes=["chooser.mj"],
+        )
+        assert set(stats.files_changed) == {"picker.mj"}
+        assert set(stats.files_added) == {"extra.mj"}
+        assert set(stats.files_removed) == {"chooser.mj"}
+        assert_matches_scratch(small_registry, live, texts, SMALL_QUERIES)
+
+
+class TestTable1Differential:
+    """The acceptance bar: on the bundled corpus, incremental updates
+    answer every Table-1 query identically to a from-scratch build."""
+
+    @pytest.fixture()
+    def setup(self, standard_registry_and_corpus):
+        registry, corpus = standard_registry_and_corpus
+        return registry, Prospector(registry, corpus)
+
+    def test_touch_one_file_answers_identical(self, setup):
+        registry, live = setup
+        queries = [(p.t_in, p.t_out) for p in TABLE1_PROBLEMS]
+        name, original = live.pipeline.texts[0]
+        stats = live.update_corpus([(name, original + "\n// touched\n")])
+        # Only the touched file re-mined.
+        assert stats.files_remined == (name,)
+        assert stats.files_reused == stats.files_total - 1
+        scratch = Prospector(
+            registry,
+            pipeline=CorpusPipeline.build(registry, list(live.pipeline.texts)),
+        )
+        assert ranked_answers(live, queries) == ranked_answers(scratch, queries)
+
+    def test_remove_and_restore_answers_identical(self, setup):
+        registry, live = setup
+        queries = [(p.t_in, p.t_out) for p in TABLE1_PROBLEMS]
+        baseline = ranked_answers(live, queries)
+        name, original = live.pipeline.texts[0]
+        removed = live.update_corpus(removes=[name])
+        assert removed.suffixes_removed > 0
+        scratch = Prospector(
+            registry,
+            pipeline=CorpusPipeline.build(registry, list(live.pipeline.texts)),
+        )
+        assert ranked_answers(live, queries) == ranked_answers(scratch, queries)
+        live.update_corpus([(name, original)])
+        assert ranked_answers(live, queries) == baseline
+
+
+class TestNoOpUpdates:
+    def test_noop_preserves_revision_and_caches(self, small_registry):
+        texts = [("handler.mj", SMALL_CORPUS)]
+        live = small_prospector_for(small_registry, texts)
+        sel = small_registry.lookup("demo.ui.ISelection")
+        item = small_registry.lookup("demo.ui.Item")
+        live.query(sel, item)  # prime the distance cache
+        revision = live.graph.revision
+        cached = live.search._dist_cache.get(item)
+        assert cached is not None
+        stats = live.update_corpus(upserts=[("handler.mj", SMALL_CORPUS)])
+        assert stats.noop
+        assert live.graph.revision == revision
+        # Same hash -> nothing flushed: the cached distances survive
+        # untouched (satellite: no-op edits must not invalidate).
+        assert live.search._dist_cache.get(item) is cached
+
+    def test_noop_keeps_compiled_kernel(self, standard_registry_and_corpus):
+        registry, corpus = standard_registry_and_corpus
+        live = Prospector(registry, corpus)
+        compiled = live.search._compiled_graph()
+        name, text = live.pipeline.texts[0]
+        assert live.update_corpus([(name, text)]).noop
+        assert live.search._compiled_graph() is compiled
+
+
+class TestSelectiveInvalidation:
+    def test_unaffected_target_survives_update(self, small_registry):
+        texts = [("handler.mj", SMALL_CORPUS)]
+        live = small_prospector_for(small_registry, texts)
+        item = small_registry.lookup("demo.ui.Item")
+        stream = small_registry.lookup("demo.io.InputStream")
+        live.search._distances(item)
+        kept = live.search._distances(stream)
+        # Removing the corpus file un-splices the UI-cluster suffixes;
+        # InputStream is unreachable from any changed node.
+        stats = live.update_corpus(removes=["handler.mj"])
+        assert stats.affected_targets > 0
+        assert live.search._distances(stream) is kept
+        assert item not in live.search._dist_cache

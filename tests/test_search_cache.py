@@ -103,3 +103,37 @@ class TestEngineCacheWiring:
         assert buf not in search._dist_cache  # the bystander was evicted too
         search._distances(buf)
         assert search.distance_computes == computes_before + 2
+
+
+class TestSelectiveInvalidation:
+    def test_invalidate_drops_only_named_targets(self):
+        cache = LRUDistanceCache()
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.invalidate(["a", "c", "missing"]) == 2
+        assert "b" in cache and "a" not in cache and "c" not in cache
+
+    def test_invalidate_empty_iterable_is_noop(self):
+        cache = LRUDistanceCache()
+        cache.put("a", 1)
+        assert cache.invalidate([]) == 0
+        assert cache.get("a") == 1
+
+    def test_engine_uses_delta_log_to_keep_bystanders(self, small_registry):
+        """apply_mined_delta logs its affected set, so the engine drops
+        only reachable targets instead of flushing the whole cache."""
+        from repro.jungloids import Jungloid, downcast
+
+        graph = JungloidGraph.build(small_registry)
+        search = GraphSearch(graph)
+        sel = small_registry.lookup("demo.ui.ISelection")
+        item = small_registry.lookup("demo.ui.Item")
+        stream = small_registry.lookup("demo.io.InputStream")
+        search._distances(item)
+        kept = search._distances(stream)
+        graph.apply_mined_delta([Jungloid((downcast(sel, item),))], [])
+        # Next access syncs with the log: Item was affected, the
+        # unreachable InputStream keeps its cached map.
+        assert search._distances(stream) is kept
+        assert item not in search._dist_cache
