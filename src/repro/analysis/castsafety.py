@@ -1,0 +1,475 @@
+"""Interprocedural cast-safety analysis over the MiniJava corpus.
+
+For every downcast expression in the corpus, a flow-insensitive backward
+abstract interpretation (the same slice shape as
+:class:`~repro.mining.extractor.JungloidExtractor`: assignment maps per
+method, client-call inlining, CHA caller jumps) computes which values can
+reach the cast operand in the abstract domain::
+
+    value = (definites: set of concrete types proved by allocation sites,
+             unknown:   True when some flow passes through an opaque
+                        source — an API call, a field, ``this``, an
+                        unbound parameter, or a widened approximation)
+
+Each downcast yields one :class:`CastObservation` recording whether any
+witnessed flow is *compatible* with the cast target. Observations are
+grouped by ``(operand type, target type)`` pair and classified into the
+:class:`~repro.analysis.verdicts.CastVerdict` lattice:
+
+* some flow allocates a subtype of the target → ``JUSTIFIED``
+  (allocation-proved);
+* some flow reaches an opaque source → ``JUSTIFIED`` (corpus-witnessed:
+  working corpus code performing this cast is the paper's evidence that
+  such values arrive);
+* every flow is fully definite and none satisfies the cast →
+  ``INVIABLE``;
+* the pair is type-implausible to begin with → ``INVIABLE``.
+
+Null literals contribute *unknown*, not a definite: a null reaching a
+cast yields a ``NULL`` outcome at runtime, never ``CLASS_CAST``, so a
+null-only flow must not prove a cast inviable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..minijava.ast import (
+    CallExpr,
+    CastExpr,
+    CompilationUnit,
+    Expr,
+    FieldAccessExpr,
+    MethodDecl,
+    NewExpr,
+    NullLit,
+    Position,
+    ReturnStmt,
+    ThisExpr,
+    VarRef,
+    method_expressions,
+    walk_statements,
+)
+from ..minijava.callgraph import CallGraph, build_call_graph
+from ..mining.dataflow import AssignmentMap, build_assignment_map
+from ..robustness import ExtractionFault
+from ..typesystem import JavaType, NamedType, TypeRegistry, is_reference
+from .verdicts import (
+    CastFinding,
+    CastVerdict,
+    CastVerdictIndex,
+    PairKey,
+    cast_plausible,
+)
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Budgets bounding the abstract interpretation."""
+
+    #: Maximum interprocedural frame switches on one evaluation.
+    max_frames: int = 8
+    #: Definite-type sets wider than this widen to *unknown*.
+    max_definites: int = 16
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One point of the abstract domain (see module docstring)."""
+
+    definites: FrozenSet[NamedType]
+    unknown: bool
+
+    @property
+    def feasible(self) -> bool:
+        """Whether any value at all can flow here."""
+        return self.unknown or bool(self.definites)
+
+
+#: Nothing flows here (an inner cast filtered every definite away).
+BOTTOM = AbstractValue(frozenset(), False)
+#: An opaque source: any value of the static type may arrive.
+UNKNOWN = AbstractValue(frozenset(), True)
+
+
+def _join(values: Sequence[AbstractValue]) -> AbstractValue:
+    definites: Set[NamedType] = set()
+    unknown = False
+    for v in values:
+        definites.update(v.definites)
+        unknown = unknown or v.unknown
+    return AbstractValue(frozenset(definites), unknown)
+
+
+@dataclass(frozen=True)
+class CastObservation:
+    """One corpus downcast with its abstract operand value, classified.
+
+    ``witness_compatible`` / ``allocation_proved`` / ``plausible`` are
+    precomputed here, while the registry is in hand, so grouping and
+    serialization downstream never need to re-resolve types.
+    """
+
+    source: str
+    method_name: str
+    position: Position
+    operand: str
+    target: str
+    #: Some witnessed flow can satisfy the cast (opaque or compatible
+    #: allocation) — the JUSTIFIED criterion.
+    witness_compatible: bool
+    #: A flow allocates a concrete subtype of the target (strong form).
+    allocation_proved: bool
+    #: The pair passes the type checker's cast-plausibility rule.
+    plausible: bool
+    #: Concrete types proved to reach the operand (textual, sorted).
+    definite_types: Tuple[str, ...]
+    #: Some flow passed through an opaque source.
+    unknown_flow: bool
+
+    @property
+    def pair(self) -> PairKey:
+        return (self.operand, self.target)
+
+
+class CastAnalyzer:
+    """Runs the abstract interpretation over a resolved corpus."""
+
+    def __init__(
+        self,
+        registry: TypeRegistry,
+        units: Sequence[CompilationUnit],
+        corpus_types: Sequence[NamedType],
+        call_graph: Optional[CallGraph] = None,
+        config: AnalysisConfig = AnalysisConfig(),
+    ):
+        self.registry = registry
+        self.units = list(units)
+        self.corpus_type_set: Set[NamedType] = set(corpus_types)
+        self.call_graph = call_graph or build_call_graph(registry, units)
+        self.config = config
+        self._assignment_maps: Dict[int, AssignmentMap] = {}
+        #: Per-cast failures recorded (not raised) during analysis.
+        self.faults: List[ExtractionFault] = []
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def analyze_all(self) -> List[CastObservation]:
+        observations: List[CastObservation] = []
+        for unit in self.units:
+            observations.extend(self.analyze_unit(unit))
+        return observations
+
+    def analyze_unit(self, unit: CompilationUnit) -> List[CastObservation]:
+        """Observations for every downcast in ``unit``.
+
+        The unit of incremental re-analysis: the pipeline caches this
+        per corpus file and replays only files whose content (or whose
+        slicing dependencies) changed. Each cast is fault-isolated, like
+        mining: one pathological slice cannot sink the pass.
+        """
+        observations: List[CastObservation] = []
+        for cls in unit.classes:
+            for method in cls.methods:
+                for expr in method_expressions(method):
+                    if not isinstance(expr, CastExpr):
+                        continue
+                    if not self._is_downcast(expr):
+                        continue
+                    try:
+                        observations.append(self._observe(unit, method, expr))
+                    except Exception as exc:
+                        self.faults.append(
+                            ExtractionFault(
+                                source=unit.source,
+                                method=method.name,
+                                position=str(expr.position),
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+        return observations
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def _is_downcast(self, cast: CastExpr) -> bool:
+        target, operand = cast.resolved_type, cast.operand_type
+        if target is None or operand is None:
+            return False
+        if not (is_reference(target) and is_reference(operand)):
+            return False
+        if target == operand:
+            return False
+        return not self.registry.is_subtype(operand, target)
+
+    def _observe(
+        self, unit: CompilationUnit, method: MethodDecl, cast: CastExpr
+    ) -> CastObservation:
+        target = cast.resolved_type
+        operand_type = cast.operand_type
+        assert target is not None and operand_type is not None
+        value = self._eval(cast.operand, _Frame(method), set(), frozenset())
+        allocation_proved = any(
+            self.registry.is_subtype(d, target) for d in value.definites
+        )
+        return CastObservation(
+            source=unit.source,
+            method_name=method.name,
+            position=cast.position,
+            operand=str(operand_type),
+            target=str(target),
+            witness_compatible=value.unknown or allocation_proved,
+            allocation_proved=allocation_proved,
+            plausible=cast_plausible(self.registry, operand_type, target),
+            definite_types=tuple(sorted(str(d) for d in value.definites)),
+            unknown_flow=value.unknown,
+        )
+
+    # ------------------------------------------------------------------
+    # The abstract interpreter
+    # ------------------------------------------------------------------
+
+    def _assignments(self, method: MethodDecl) -> AssignmentMap:
+        amap = self._assignment_maps.get(id(method))
+        if amap is None:
+            amap = build_assignment_map(method)
+            self._assignment_maps[id(method)] = amap
+        return amap
+
+    def _widen(self, value: AbstractValue) -> AbstractValue:
+        if len(value.definites) > self.config.max_definites:
+            return UNKNOWN
+        return value
+
+    def _eval(
+        self,
+        expr: Expr,
+        frame: "_Frame",
+        visiting: Set[Tuple[int, int]],
+        inline_stack: frozenset,
+    ) -> AbstractValue:
+        key = (id(expr), id(frame))
+        if key in visiting:
+            # A data-flow cycle: approximate the fixpoint with unknown.
+            return UNKNOWN
+        visiting = visiting | {key}
+
+        if isinstance(expr, NullLit):
+            # Null never raises CLASS_CAST; it must not prove inviability.
+            return UNKNOWN
+        if isinstance(expr, NewExpr):
+            ctor = expr.resolved_constructor
+            if ctor is None or not isinstance(ctor.owner, NamedType):
+                return UNKNOWN
+            return AbstractValue(frozenset({ctor.owner}), False)
+        if isinstance(expr, CastExpr):
+            return self._eval_cast(expr, frame, visiting, inline_stack)
+        if isinstance(expr, CallExpr):
+            return self._eval_call(expr, frame, visiting, inline_stack)
+        if isinstance(expr, (FieldAccessExpr, ThisExpr)):
+            return UNKNOWN
+        if isinstance(expr, VarRef):
+            return self._eval_var(expr, frame, visiting, inline_stack)
+        # Literals and operators: the static type is exact for value
+        # types but casts on them are not reference downcasts anyway;
+        # treat as opaque.
+        t = expr.resolved_type
+        if isinstance(t, NamedType):
+            return AbstractValue(frozenset({t}), False)
+        return UNKNOWN
+
+    def _eval_cast(
+        self, cast: CastExpr, frame: "_Frame", visiting, inline_stack
+    ) -> AbstractValue:
+        inner = self._eval(cast.operand, frame, visiting, inline_stack)
+        target = cast.resolved_type
+        if target is None:
+            return UNKNOWN
+        filtered = frozenset(
+            d for d in inner.definites if self.registry.is_subtype(d, target)
+        )
+        # Unknown survives the cast (the runtime check passed, so the
+        # value *is* a subtype of target — still opaque to us).
+        return AbstractValue(filtered, inner.unknown)
+
+    def _eval_call(
+        self, call: CallExpr, frame: "_Frame", visiting, inline_stack
+    ) -> AbstractValue:
+        method = call.resolved_method
+        if method is None:
+            return UNKNOWN
+        is_client = (
+            isinstance(method.owner, NamedType)
+            and method.owner in self.corpus_type_set
+        )
+        body = self.call_graph.declaration_of(method)
+        if not (is_client and body is not None):
+            # API methods are opaque sources.
+            return UNKNOWN
+        if id(body) in inline_stack or frame.depth >= self.config.max_frames:
+            return UNKNOWN
+        bindings: Dict[str, Tuple[Expr, _Frame]] = {}
+        for param, arg in zip(body.params, call.args):
+            bindings[param.name] = (arg, frame)
+        callee = _Frame(body, bindings=bindings, depth=frame.depth + 1)
+        new_stack = inline_stack | {id(body)}
+        returns = _return_expressions(body)
+        if not returns:
+            return UNKNOWN
+        return self._widen(
+            _join([self._eval(r, callee, visiting, new_stack) for r in returns])
+        )
+
+    def _eval_var(
+        self, var: VarRef, frame: "_Frame", visiting, inline_stack
+    ) -> AbstractValue:
+        if var.resolved_kind == "field":
+            return UNKNOWN
+        if var.resolved_kind == "param":
+            binding = (
+                frame.bindings.get(var.name) if frame.bindings is not None else None
+            )
+            if binding is not None:
+                return self._eval(binding[0], binding[1], visiting, inline_stack)
+            return self._jump_to_callers(var, frame, visiting, inline_stack)
+        # Local variable: join every expression ever assigned to it.
+        sources = self._assignments(frame.decl).sources_of(var.name)
+        if not sources:
+            return UNKNOWN
+        return self._widen(
+            _join([self._eval(s, frame, visiting, inline_stack) for s in sources])
+        )
+
+    def _jump_to_callers(
+        self, var: VarRef, frame: "_Frame", visiting, inline_stack
+    ) -> AbstractValue:
+        """Top-frame parameter: join arguments at every CHA call site."""
+        decl = frame.decl
+        method = decl.resolved_method
+        index = next(
+            (i for i, p in enumerate(decl.params) if p.name == var.name), None
+        )
+        if method is None or index is None or frame.depth >= self.config.max_frames:
+            return UNKNOWN
+        sites = self.call_graph.call_sites_of(method)
+        if not sites or id(decl) in inline_stack:
+            return UNKNOWN
+        new_stack = inline_stack | {id(decl)}
+        values: List[AbstractValue] = []
+        for site in sites:
+            if id(site.caller) in inline_stack:
+                continue
+            if index >= len(site.call.args):
+                continue
+            caller_frame = _Frame(site.caller, depth=frame.depth + 1)
+            values.append(
+                self._eval(site.call.args[index], caller_frame, visiting, new_stack)
+            )
+        if not values:
+            return UNKNOWN
+        return self._widen(_join(values))
+
+
+class _Frame:
+    """One activation on the interprocedural evaluation path."""
+
+    __slots__ = ("decl", "bindings", "depth")
+
+    def __init__(
+        self,
+        decl: MethodDecl,
+        bindings: Optional[Dict[str, Tuple[Expr, "_Frame"]]] = None,
+        depth: int = 0,
+    ):
+        self.decl = decl
+        self.bindings = bindings  # None for a top (non-inlined) frame
+        self.depth = depth
+
+
+def _return_expressions(decl: MethodDecl) -> List[Expr]:
+    if decl.body is None:
+        return []
+    returns: List[Expr] = []
+    for stmt in walk_statements(decl.body):
+        if isinstance(stmt, ReturnStmt) and stmt.value is not None:
+            returns.append(stmt.value)
+    return returns
+
+
+# ----------------------------------------------------------------------
+# Classification
+# ----------------------------------------------------------------------
+
+
+def classify_pair(observations: Sequence[CastObservation]) -> CastFinding:
+    """Compose one pair's observations into a :class:`CastFinding`."""
+    assert observations, "classify_pair requires at least one observation"
+    head = observations[0]
+    definite_types = tuple(
+        sorted({t for obs in observations for t in obs.definite_types})
+    )
+    witnesses = len(observations)
+    if not head.plausible:
+        verdict, evidence = (
+            CastVerdict.INVIABLE,
+            "cast between unrelated types (witnessed, but type-implausible)",
+        )
+    elif any(obs.allocation_proved for obs in observations):
+        verdict, evidence = (
+            CastVerdict.JUSTIFIED,
+            "allocation site proves a compatible concrete type reaches the cast",
+        )
+    elif any(obs.witness_compatible for obs in observations):
+        verdict, evidence = (
+            CastVerdict.JUSTIFIED,
+            "corpus-witnessed: working corpus code casts values from opaque API flows",
+        )
+    else:
+        verdict, evidence = (
+            CastVerdict.INVIABLE,
+            "every witnessed flow is definite and incompatible with the target",
+        )
+    return CastFinding(
+        operand=head.operand,
+        target=head.target,
+        verdict=verdict,
+        witnesses=witnesses,
+        evidence=evidence,
+        definite_types=definite_types,
+    )
+
+
+def group_observations(
+    observations: Sequence[CastObservation],
+) -> Dict[PairKey, List[CastObservation]]:
+    grouped: Dict[PairKey, List[CastObservation]] = {}
+    for obs in observations:
+        grouped.setdefault(obs.pair, []).append(obs)
+    return grouped
+
+
+def build_verdict_index(
+    registry: TypeRegistry, observations: Sequence[CastObservation]
+) -> CastVerdictIndex:
+    """Classify grouped observations into the query-time verdict index."""
+    findings: Dict[PairKey, CastFinding] = {
+        pair: classify_pair(group)
+        for pair, group in group_observations(observations).items()
+    }
+    return CastVerdictIndex(registry, findings)
+
+
+def analyze_corpus(
+    registry: TypeRegistry,
+    units: Sequence[CompilationUnit],
+    corpus_types: Sequence[NamedType],
+    call_graph: Optional[CallGraph] = None,
+    config: AnalysisConfig = AnalysisConfig(),
+) -> CastVerdictIndex:
+    """Convenience wrapper: analyze a resolved corpus into a verdict index."""
+    analyzer = CastAnalyzer(registry, units, corpus_types, call_graph, config)
+    return build_verdict_index(registry, analyzer.analyze_all())

@@ -28,10 +28,11 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from .analysis import SEVERITY_ORDER, run_lint
 from .apispec import ApiSpecError, load_api_files
 from .core import CursorContext, Prospector
 from .corpus import CorpusLoadError, load_corpus_files
-from .data import standard_corpus, standard_registry
+from .data import corpus_texts, standard_corpus, standard_registry
 from .eval import classify_stuck_cases, run_prototype_test, run_table1, simulate_user_study
 from .graph import BundleFormatError, bundle_to_json, graph_stats
 from .minijava import MiniJavaError
@@ -162,6 +163,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return EXIT_NO_RESULTS
     for r in results[: args.top]:
         print(f"#{r.rank}  {r.inline(args.input_var)}")
+        if args.verify:
+            verdict = r.verdict or prospector.verify(r.jungloid)
+            print(f"      [viability: {verdict.verdict.value}]")
+            for finding in verdict.findings:
+                print(
+                    f"        ({finding.target}) from {finding.operand}:"
+                    f" {finding.verdict.value} — {finding.evidence}"
+                )
         if args.statements:
             snippet = r.code(args.input_var, args.result_var)
             for line in snippet.lines:
@@ -464,6 +473,85 @@ def _cmd_bench_search(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _lint_texts(args: argparse.Namespace) -> List[tuple]:
+    """The ``(source, text)`` pairs ``lint`` should examine.
+
+    Corpus files are read raw — not through the corpus loader — because
+    lint wants to report parse/resolve problems as diagnostics, not have
+    the loader abort or quarantine them first.
+    """
+    if getattr(args, "corpus", None):
+        texts = []
+        for path in args.corpus:
+            with open(path, "r", encoding="utf-8") as handle:
+                texts.append((path, handle.read()))
+        return texts
+    if getattr(args, "no_corpus", False):
+        return []
+    return list(corpus_texts())
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    registry = (
+        load_api_files(args.api) if getattr(args, "api", None) else standard_registry()
+    )
+    texts = _lint_texts(args)
+    if not texts:
+        print("error: no corpus to lint (--no-corpus?)", file=sys.stderr)
+        return EXIT_INPUT_ERROR
+    graph = verdicts = None
+    if args.graph:
+        from .corpus import load_corpus_texts
+
+        program = load_corpus_texts(registry, texts, lenient=True)
+        prospector = Prospector(registry, program)
+        graph, verdicts = prospector.graph, prospector.verdicts
+    report = run_lint(registry, texts, graph=graph, verdicts=verdicts)
+    for diagnostic in report.diagnostics:
+        print(diagnostic)
+    counts = report.to_dict()["counts"]
+    summary = ", ".join(f"{key} x{n}" for key, n in sorted(counts.items()) if n)
+    print(
+        f"linted {len(report.linted_sources)} source(s):"
+        f" {len(report.diagnostics)} finding(s)"
+        + (f" ({summary})" if summary else "")
+    )
+    return EXIT_NO_RESULTS if report.failed(args.fail_on) else EXIT_OK
+
+
+def _cmd_bench_analysis(args: argparse.Namespace) -> int:
+    from .eval import run_analysis_eval, write_bench_analysis
+
+    prospector = _build_prospector_from_data(args)
+    if prospector.mining is None:
+        print("error: bench-analysis needs a corpus", file=sys.stderr)
+        return EXIT_INPUT_ERROR
+    report = run_analysis_eval(prospector)
+    print(report.format_report())
+    if args.output:
+        write_bench_analysis(report, args.output)
+        print(f"wrote {args.output}")
+    if not report.soundness_ok:
+        print(
+            "error: soundness violated — a JUSTIFIED jungloid threw"
+            " ClassCastException",
+            file=sys.stderr,
+        )
+        return EXIT_INPUT_ERROR
+    if args.min_agreement is not None:
+        worst = min(
+            report.top_ranked.agreement_rate, report.mined_examples.agreement_rate
+        )
+        if worst < args.min_agreement:
+            print(
+                f"error: agreement rate {worst:.3f} below required"
+                f" {args.min_agreement:.3f}",
+                file=sys.stderr,
+            )
+            return EXIT_NO_RESULTS
+    return EXIT_OK
+
+
 def _add_data_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--api", action="append", metavar="FILE", help="load this .api stub file (repeatable; replaces the bundled stubs)")
     parser.add_argument("--corpus", action="append", metavar="FILE", help="load this .mj corpus file (repeatable)")
@@ -516,6 +604,11 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--input-var", default="x", help="name of the input variable")
     q.add_argument("--result-var", default="result", help="name for the result variable")
     q.add_argument("--statements", action="store_true", help="also print insertable statements")
+    q.add_argument(
+        "--verify",
+        action="store_true",
+        help="print each result's static viability verdict and per-cast findings",
+    )
     _add_data_options(q)
     _add_budget_option(q)
     _add_snapshot_option(q)
@@ -628,6 +721,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_data_options(bs)
     bs.set_defaults(func=_cmd_bench_search)
+
+    ln = sub.add_parser(
+        "lint",
+        help="run the corpus lint engine (stable JLxxx diagnostic codes);"
+        " exit 1 when findings reach --fail-on",
+    )
+    ln.add_argument(
+        "--fail-on",
+        choices=sorted(SEVERITY_ORDER, key=SEVERITY_ORDER.get),
+        default="info",
+        help="lowest severity that makes the exit code nonzero (default info)",
+    )
+    ln.add_argument(
+        "--graph",
+        action="store_true",
+        help="also lint the mined jungloid graph (never-witnessed downcasts,"
+        " dead typestate nodes)",
+    )
+    _add_data_options(ln)
+    ln.set_defaults(func=_cmd_lint)
+
+    ba = sub.add_parser(
+        "bench-analysis",
+        help="score static viability verdicts against the mock runtime"
+        " (agreement rate, confusion counts, verdicts/sec, soundness)",
+    )
+    ba.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="also write the numbers as JSON (e.g. benchmarks/out/BENCH_analysis.json)",
+    )
+    ba.add_argument(
+        "--min-agreement",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="exit nonzero when either population's agreement rate falls"
+        " below RATE (CI regression guard)",
+    )
+    _add_data_options(ba)
+    ba.set_defaults(func=_cmd_bench_analysis)
 
     ix = sub.add_parser("index", help="manage durable graph snapshots")
     ix_sub = ix.add_subparsers(dest="index_command", required=True)

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from ..analysis import CastVerdictIndex, JungloidVerdict, analyze_corpus
 from ..corpus import CorpusProgram, load_corpus_texts
 from ..graph import JungloidGraph, graph_stats
 from ..jungloids import CostModel, DEFAULT_COST_MODEL, Jungloid
@@ -124,8 +125,24 @@ class Prospector:
             self.graph = JungloidGraph.build(
                 registry, mined_list, public_only=config.public_only
             )
+        #: Cast-verdict index, sourced best-available: the pipeline's
+        #: precomputed index, a direct analysis of a legacy corpus, or
+        #: None (snapshot instances adopt theirs via set_verdicts).
+        if self.pipeline is not None:
+            self.verdicts: Optional[CastVerdictIndex] = self.pipeline.verdicts
+        elif self.corpus is not None and self.mining is not None:
+            self.verdicts = analyze_corpus(
+                self.corpus.registry, self.corpus.units, self.corpus.corpus_types
+            )
+        else:
+            self.verdicts = None
+        self._fallback_verdicts: Optional[CastVerdictIndex] = None
         self.search = GraphSearch(
-            self.graph, cost_model=config.cost_model, config=config.search, clock=clock
+            self.graph,
+            cost_model=config.cost_model,
+            config=config.search,
+            clock=clock,
+            verdicts=self.verdicts,
         )
 
     # ------------------------------------------------------------------
@@ -193,6 +210,15 @@ class Prospector:
             mined=recovered.mined,
             store_diagnostics=recovered.diagnostics,
         )
+        if recovered.analysis is not None:
+            try:
+                prospector.set_verdicts(
+                    CastVerdictIndex.from_dict(
+                        prospector.registry, recovered.analysis
+                    )
+                )
+            except Exception:
+                pass  # malformed header analysis: stay verdict-less
         if load_stages:
             prospector._adopt_stage_sidecar(path)
         return prospector
@@ -220,6 +246,8 @@ class Prospector:
         self.mining = pipeline.mining
         self.corpus = pipeline.program
         self.mined_jungloids = tuple(pipeline.suffixes)
+        if pipeline.verdicts is not None:
+            self.set_verdicts(pipeline.verdicts)
         self._argument_examples_cache = None
         return True
 
@@ -238,6 +266,7 @@ class Prospector:
             graph=self.graph,
             public_only=self.config.public_only,
             rotate=rotate,
+            analysis=self.verdicts.to_dict() if self.verdicts is not None else None,
         )
         if self.pipeline is not None:
             save_stage_sidecar(path, self.pipeline.to_stage_dict())
@@ -279,9 +308,55 @@ class Prospector:
                 cost_model=self.config.cost_model,
                 config=self.config.search,
                 clock=self.clock,
+                verdicts=self.pipeline.verdicts,
             )
+            self.verdicts = self.pipeline.verdicts
+            self._fallback_verdicts = None
+        else:
+            # Same graph object, possibly new verdicts: swap the index
+            # (this also clears the rank-key memo, whose entries embed
+            # the previous index's demotion buckets).
+            self.set_verdicts(self.pipeline.verdicts)
         self._argument_examples_cache = None
         return stats
+
+    # ------------------------------------------------------------------
+    # Static viability analysis
+    # ------------------------------------------------------------------
+
+    def set_verdicts(self, verdicts: Optional[CastVerdictIndex]) -> None:
+        """Attach (or replace) the cast-verdict index.
+
+        Propagates to the search engine, which clears its rank-key memo
+        — stale keys would embed the old index's demotion buckets.
+        """
+        self.verdicts = verdicts
+        self._fallback_verdicts = None
+        self.search.set_verdicts(verdicts)
+
+    def _verdict_index(self) -> CastVerdictIndex:
+        """The attached index, or a relatedness-only fallback.
+
+        The fallback has zero corpus witnesses, so every downcast
+        resolves from type structure alone (PLAUSIBLE when related,
+        INVIABLE when not) — weaker than corpus evidence but still a
+        sound basis for :meth:`verify`.
+        """
+        if self.verdicts is not None:
+            return self.verdicts
+        if self._fallback_verdicts is None:
+            self._fallback_verdicts = CastVerdictIndex(self.registry)
+        return self._fallback_verdicts
+
+    def verify(self, jungloid: Jungloid) -> JungloidVerdict:
+        """Static viability verdict for a jungloid — no execution.
+
+        The composed worst-case over the jungloid's downcast steps:
+        ``JUSTIFIED`` (corpus data-flow supports every cast; vacuous for
+        cast-free jungloids), ``PLAUSIBLE`` (types related, no witness),
+        or ``INVIABLE`` (some cast no corpus path can satisfy).
+        """
+        return self._verdict_index().verdict_for_jungloid(jungloid)
 
     # ------------------------------------------------------------------
     # Queries
@@ -377,8 +452,16 @@ class Prospector:
             pairs = [(j, s) for j, s in zip(jungloids, sources) if id(j) in keep]
         else:
             pairs = list(zip(jungloids, sources))
+        verdicts = self.verdicts
         return [
-            Synthesis(rank=i + 1, jungloid=j, source_type=s)
+            Synthesis(
+                rank=i + 1,
+                jungloid=j,
+                source_type=s,
+                verdict=(
+                    verdicts.verdict_for_jungloid(j) if verdicts is not None else None
+                ),
+            )
             for i, (j, s) in enumerate(pairs)
         ]
 

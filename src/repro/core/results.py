@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from ..analysis.verdicts import JungloidVerdict
 from ..jungloids import FreeVariable, JavaSnippet, Jungloid, render_inline, render_statements
 from ..typesystem import JavaType, VOID
 
@@ -16,6 +17,9 @@ class Synthesis:
     rank: int  # 1-based, as the paper reports ranks
     jungloid: Jungloid
     source_type: JavaType
+    #: Static viability verdict, when the engine has a verdict index
+    #: (``None`` on instances built without the analysis).
+    verdict: Optional[JungloidVerdict] = None
 
     @property
     def is_void_source(self) -> bool:

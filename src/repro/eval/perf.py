@@ -220,10 +220,32 @@ def run_store_perf(
     return report
 
 
+def _write_bench_json(path: os.PathLike, payload: dict) -> None:
+    """Atomically write a ``BENCH_*.json`` payload, mirroring to the
+    repo root.
+
+    When ``path`` is the canonical ``benchmarks/out/<name>.json``
+    location, an identical copy also lands at the repo root (the
+    directory containing ``benchmarks/``) so dashboards and diff tools
+    that only look at top-level ``BENCH_*.json`` files stay in sync.
+    """
+    text = json.dumps(payload, indent=2) + "\n"
+    atomic_write_text(path, text)
+    parent = os.path.dirname(os.path.abspath(os.fspath(path)))
+    grandparent = os.path.dirname(parent)
+    if (
+        os.path.basename(parent) == "out"
+        and os.path.basename(grandparent) == "benchmarks"
+    ):
+        root = os.path.dirname(grandparent)
+        mirror = os.path.join(root, os.path.basename(os.fspath(path)))
+        atomic_write_text(mirror, text)
+
+
 def write_bench_store(report: StorePerfReport, path: os.PathLike) -> None:
     """Emit the cold-start numbers as ``BENCH_store.json`` (atomically,
     with the store's own write helper)."""
-    atomic_write_text(path, json.dumps(report.to_dict(), indent=2) + "\n")
+    _write_bench_json(path, report.to_dict())
 
 
 # ----------------------------------------------------------------------
@@ -555,7 +577,7 @@ def run_search_perf(
 
 def write_bench_search(report: SearchPerfReport, path: os.PathLike) -> None:
     """Emit the search numbers as ``BENCH_search.json`` (atomic write)."""
-    atomic_write_text(path, json.dumps(report.to_dict(), indent=2) + "\n")
+    _write_bench_json(path, report.to_dict())
 
 
 # ----------------------------------------------------------------------
@@ -721,4 +743,4 @@ def _timed(fn: Callable[[], object]) -> float:
 
 def write_bench_incremental(report: IncrementalPerfReport, path: os.PathLike) -> None:
     """Emit the numbers as ``BENCH_incremental.json`` (atomic write)."""
-    atomic_write_text(path, json.dumps(report.to_dict(), indent=2) + "\n")
+    _write_bench_json(path, report.to_dict())

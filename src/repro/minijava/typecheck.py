@@ -143,8 +143,18 @@ class TypeChecker:
         operand = cast.operand_type
         if target is None or operand is None:
             return
-        if not is_reference(target):
-            return  # primitive casts: out of scope
+        if not is_reference(target) or not is_reference(operand):
+            # Primitive-to-primitive conversions (numeric casts) are
+            # legal Java; crossing the primitive/reference boundary in
+            # either direction is not (mini-Java has no boxing).
+            if is_reference(target) != is_reference(operand):
+                self._issue(
+                    source,
+                    cast.position,
+                    f"cannot cast between primitive and reference types"
+                    f" {operand} and {target}",
+                )
+            return
         if operand == target:
             return
         if self.registry.is_subtype(operand, target) or self.registry.is_subtype(

@@ -38,6 +38,8 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..analysis.castsafety import CastAnalyzer, CastObservation, build_verdict_index
+from ..analysis.verdicts import CastVerdictIndex
 from ..corpus import CorpusProgram, clone_registry, resolve_and_check_lenient
 from ..graph import JungloidGraph
 from ..graph.jungloid_graph import MinedDelta
@@ -171,6 +173,7 @@ class StageTimings:
     resolve_ms: float = 0.0
     callgraph_ms: float = 0.0
     mine_ms: float = 0.0
+    analyze_ms: float = 0.0
     generalize_ms: float = 0.0
     graft_ms: float = 0.0
 
@@ -182,6 +185,7 @@ class StageTimings:
             + self.resolve_ms
             + self.callgraph_ms
             + self.mine_ms
+            + self.analyze_ms
             + self.generalize_ms
             + self.graft_ms
         )
@@ -204,6 +208,11 @@ class PipelineUpdateStats:
     files_remined: Tuple[str, ...] = ()
     #: Healthy files whose cached examples were reused untouched.
     files_reused: int = 0
+    #: Files whose cast observations were recomputed (= files_remined:
+    #: the analysis slice has the same dependency support as mining).
+    files_reanalyzed: Tuple[str, ...] = ()
+    #: Downcast observations recomputed in this sync.
+    casts_reanalyzed: int = 0
     examples_total: int = 0
     suffixes_total: int = 0
     suffixes_added: int = 0
@@ -225,6 +234,8 @@ class PipelineUpdateStats:
             "files_removed": list(self.files_removed),
             "files_remined": list(self.files_remined),
             "files_reused": self.files_reused,
+            "files_reanalyzed": list(self.files_reanalyzed),
+            "casts_reanalyzed": self.casts_reanalyzed,
             "examples_total": self.examples_total,
             "suffixes_total": self.suffixes_total,
             "suffixes_added": self.suffixes_added,
@@ -274,11 +285,15 @@ class CorpusPipeline:
         self._suffix_map: Dict[SuffixKey, Jungloid] = {}
         self._pending_record_dicts: Dict[str, dict] = {}
         self._generalizer = IncrementalGeneralizer(self.min_precast_steps)
+        #: Per-file cast observations; invalidated with files_remined.
+        self._analysis_obs: Dict[str, Tuple[CastObservation, ...]] = {}
 
         self.program: Optional[CorpusProgram] = None
         self.call_graph: Optional[CallGraph] = None
         self.mining: Optional[MiningResult] = None
         self.graph: Optional[JungloidGraph] = None
+        #: The cast-verdict index for the current corpus state.
+        self.verdicts: Optional[CastVerdictIndex] = None
         self.last_stats: Optional[PipelineUpdateStats] = None
 
     # ------------------------------------------------------------------
@@ -562,6 +577,31 @@ class CorpusPipeline:
         stats.files_remined = tuple(remined)
         stats.files_reused = len(new_records) - len(remined)
 
+        # -- Stage 4c: analyze (cast observations, per-file cache) ------
+        # The cast-safety slice has the same interprocedural support as
+        # mining (assignment maps, client inlining, CHA jumps), so the
+        # mine stage's dependency validation doubles as the analysis
+        # invalidation set: exactly the re-mined files are re-analyzed.
+        t0 = _now_ms()
+        new_obs: Dict[str, Tuple[CastObservation, ...]] = {}
+        reanalyzed: List[str] = []
+        remined_set = set(remined)
+        analyzer = CastAnalyzer(registry, units, corpus_types, call_graph)
+        for unit in units:
+            source = unit.source
+            cached_obs = self._analysis_obs.get(source)
+            if cached_obs is not None and source not in remined_set:
+                new_obs[source] = cached_obs
+                continue
+            new_obs[source] = tuple(analyzer.analyze_unit(unit))
+            reanalyzed.append(source)
+        verdicts = build_verdict_index(
+            registry, [obs for unit in units for obs in new_obs[unit.source]]
+        )
+        timings.analyze_ms = _now_ms() - t0
+        stats.files_reanalyzed = tuple(reanalyzed)
+        stats.casts_reanalyzed = sum(len(new_obs[s]) for s in reanalyzed)
+
         # -- Stage 5: generalize (incremental trie) ---------------------
         t0 = _now_ms()
         for source, old in self._records.items():
@@ -624,9 +664,11 @@ class CorpusPipeline:
         self._records = new_records
         self._suffix_map = new_map
         self._pending_record_dicts = {}
+        self._analysis_obs = new_obs
         self.program = program
         self.call_graph = call_graph
         self.mining = mining
+        self.verdicts = verdicts
         self.last_stats = stats
         return stats
 

@@ -21,7 +21,15 @@ from .paths import (
     shortest_length,
     shortest_path,
 )
-from .ranking import RankKey, package_crossings, rank, rank_key, true_output_type
+from .ranking import (
+    RankKey,
+    ViabilityRankKey,
+    package_crossings,
+    rank,
+    rank_key,
+    true_output_type,
+    viability_rank_key,
+)
 
 __all__ = [
     "BatchQuery",
@@ -36,6 +44,7 @@ __all__ = [
     "SearchConfig",
     "SearchResult",
     "UNREACHABLE",
+    "ViabilityRankKey",
     "cluster_results",
     "compile_graph",
     "count_paths",
@@ -52,4 +61,5 @@ __all__ = [
     "shortest_length",
     "shortest_path",
     "type_chain",
+    "viability_rank_key",
 ]

@@ -69,7 +69,7 @@ from .paths import (
     enumerate_paths,
     shortest_path,
 )
-from .ranking import RankKey, rank_key
+from .ranking import RankKey, ViabilityRankKey, rank_key, viability_rank_key
 
 
 @dataclass(frozen=True)
@@ -96,6 +96,9 @@ class SearchConfig:
     use_kernel: bool = True
     #: Bound on the per-target distance maps retained between queries.
     max_cached_targets: int = DEFAULT_MAX_CACHED_TARGETS
+    #: Demote statically INVIABLE jungloids below JUSTIFIED/PLAUSIBLE
+    #: ones in the ranked order (no effect without a verdict index).
+    analysis_ranking: bool = True
 
 
 @dataclass(frozen=True)
@@ -148,11 +151,14 @@ class GraphSearch:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         config: SearchConfig = SearchConfig(),
         clock: Clock = SYSTEM_CLOCK,
+        verdicts=None,
     ):
         self.graph = graph
         self.cost_model = cost_model
         self.config = config
         self.clock = clock
+        #: Optional CastVerdictIndex consulted by analysis-aware ranking.
+        self.verdicts = verdicts
         self._dist_cache: LRUDistanceCache = LRUDistanceCache(
             max_targets=config.max_cached_targets
         )
@@ -164,7 +170,8 @@ class GraphSearch:
         self.distance_computes = 0
         # Cross-query rank-key memo, keyed by jungloid identity; the
         # jungloid is retained so a live entry's id can never be reused.
-        self._rank_memo: Dict[int, Tuple[Jungloid, RankKey]] = {}
+        # Entries embed the verdict demotion, so set_verdicts clears it.
+        self._rank_memo: Dict[int, Tuple[Jungloid, "_AnyRankKey"]] = {}
 
     def _edge_cost(self, edge) -> int:
         """Edge weight = the ranking heuristic's size estimate (§3.2)."""
@@ -565,13 +572,32 @@ class GraphSearch:
         self._dist_cache.put(target, fresh)
         return fresh
 
-    def _rank_key(self, jungloid: Jungloid) -> RankKey:
-        """Memoized :func:`~repro.search.ranking.rank_key` by identity."""
+    def set_verdicts(self, verdicts) -> None:
+        """Swap the verdict index used by analysis-aware ranking.
+
+        Clears the rank-key memo: cached keys embed the demotion bucket
+        of the *previous* index and would silently misrank otherwise.
+        """
+        self.verdicts = verdicts
+        self._rank_memo.clear()
+
+    def _rank_key(self, jungloid: Jungloid) -> "_AnyRankKey":
+        """Memoized ranking key by jungloid identity.
+
+        The paper's :func:`~repro.search.ranking.rank_key`, wrapped in a
+        :class:`~repro.search.ranking.ViabilityRankKey` when analysis-
+        aware ranking is on and a verdict index is attached.
+        """
         memo = self._rank_memo
         entry = memo.get(id(jungloid))
         if entry is not None and entry[0] is jungloid:
             return entry[1]
-        key = rank_key(self.graph.registry, jungloid, self.cost_model)
+        if self.config.analysis_ranking and self.verdicts is not None:
+            key: _AnyRankKey = viability_rank_key(
+                self.graph.registry, jungloid, self.verdicts, self.cost_model
+            )
+        else:
+            key = rank_key(self.graph.registry, jungloid, self.cost_model)
         if len(memo) >= _RANK_MEMO_CAP:
             memo.clear()
         memo[id(jungloid)] = (jungloid, key)
@@ -584,7 +610,13 @@ class GraphSearch:
             self.cost_model,
             replace(self.config, **overrides),
             clock=self.clock,
+            verdicts=self.verdicts,
         )
+
+
+#: Either ranking key shape; one GraphSearch instance only ever mixes
+#: them across a set_verdicts/config boundary, never within one sort.
+_AnyRankKey = Union[RankKey, ViabilityRankKey]
 
 
 def _unique(items: Iterable[JavaType]) -> List[JavaType]:

@@ -12,6 +12,13 @@ Jungloids are ordered by:
    requested ``IEditorPart`` itself: if the user wanted the subclass they
    would have asked for it;
 4. a deterministic textual tie-break so results are stable run to run.
+
+When the static viability analysis is available (see
+:mod:`repro.analysis`), ranking can wrap the paper's key in a
+:class:`ViabilityRankKey` whose *leading* component demotes jungloids
+with an ``INVIABLE``-verdict downcast below everything else; among
+non-demoted jungloids the paper's order is untouched, so Table-1 answers
+are byte-identical whenever verdicts don't differ.
 """
 
 from __future__ import annotations
@@ -79,6 +86,36 @@ def rank_key(
         crossings=package_crossings(jungloid),
         generality=generality_key(registry, true_output_type(jungloid)),
         text=jungloid.render_expression("x"),
+    )
+
+
+@dataclass(frozen=True, order=True)
+class ViabilityRankKey:
+    """The paper's key behind a leading analysis-demotion bucket.
+
+    ``demotion`` is 0 for ``JUSTIFIED``/``PLAUSIBLE`` jungloids and 1
+    when any downcast step carries an ``INVIABLE`` verdict, so demoted
+    jungloids sort after every non-demoted one regardless of cost.
+    """
+
+    demotion: int
+    base: RankKey
+
+
+def viability_rank_key(
+    registry: TypeRegistry,
+    jungloid: Jungloid,
+    verdicts,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> ViabilityRankKey:
+    """Rank key demoting statically inviable jungloids.
+
+    ``verdicts`` is a :class:`~repro.analysis.verdicts.CastVerdictIndex`
+    (or ``None``, in which case nothing is demoted).
+    """
+    demotion = verdicts.demotion_rank(jungloid) if verdicts is not None else 0
+    return ViabilityRankKey(
+        demotion=demotion, base=rank_key(registry, jungloid, cost_model)
     )
 
 

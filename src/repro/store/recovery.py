@@ -117,6 +117,9 @@ class RecoveredStore:
     mined: Tuple[Jungloid, ...]
     diagnostics: StoreDiagnostics
     manifest: Optional[SnapshotManifest] = None
+    #: Serialized cast-verdict index carried by the snapshot, if any
+    #: (``None`` after a rebuild or a pre-v3 migration).
+    analysis: Optional[dict] = None
 
     @property
     def rung_used(self) -> Optional[str]:
@@ -154,6 +157,7 @@ def load_with_recovery(
             mined=loaded.mined,
             diagnostics=diag,
             manifest=loaded.manifest,
+            analysis=loaded.analysis,
         )
 
     if rebuild is not None:
@@ -225,5 +229,6 @@ def repair(
             recovered.mined,
             public_only=public_only,
             rotate=False,
+            analysis=recovered.analysis,
         )
     return recovered

@@ -20,6 +20,11 @@ JSON bundle of :mod:`repro.graph.serialize` a durable envelope:
 * **Migration** — schema version 1 is a bare ``prospector-bundle-v1``
   JSON file (what ``dump-bundle`` writes); :meth:`SnapshotStore.load`
   recognizes and upgrades it in memory, recording the migration.
+  Version 2 is the headered format without the optional ``analysis``
+  key; version 3 (current) may carry the serialized cast-verdict index
+  in the header, leaving the payload bytes — and therefore the
+  manifest's checksum discipline — untouched. v1/v2 files load as
+  migrations with ``analysis=None`` (verdicts are recomputed lazily).
 """
 
 from __future__ import annotations
@@ -51,8 +56,9 @@ from .errors import (
 
 #: Magic string in the header line.
 SNAPSHOT_FORMAT = "prospector-snapshot"
-#: Current schema version. Version 1 is the bare legacy bundle.
-SCHEMA_VERSION = 2
+#: Current schema version. Version 1 is the bare legacy bundle;
+#: version 2 lacks the optional header ``analysis`` key.
+SCHEMA_VERSION = 3
 #: Suffix of the retained previous generation.
 PREVIOUS_SUFFIX = ".prev"
 
@@ -159,6 +165,9 @@ class LoadedSnapshot:
     manifest: Optional[SnapshotManifest]  #: None for migrated legacy bundles
     migrated_from: Optional[int]  #: source schema version, if migrated
     path: Path
+    #: Serialized cast-verdict index (schema v3); ``None`` when the
+    #: snapshot predates the analysis or was saved without one.
+    analysis: Optional[dict] = None
 
 
 def payload_digest(payload: bytes) -> str:
@@ -202,12 +211,16 @@ class SnapshotStore:
         graph: Optional[JungloidGraph] = None,
         public_only: bool = True,
         rotate: bool = True,
+        analysis: Optional[dict] = None,
     ) -> SnapshotManifest:
         """Write an atomic checksummed snapshot; returns its manifest.
 
         ``rotate=True`` keeps the previous on-disk snapshot as
         ``<path>.prev``. Repair passes ``rotate=False`` so rewriting a
         damaged current file never clobbers a good previous generation.
+        ``analysis`` is the serialized cast-verdict index
+        (:meth:`~repro.analysis.verdicts.CastVerdictIndex.to_dict`); it
+        rides in the header, so the payload checksum is unaffected.
         """
         mined = list(mined)
         if graph is None:
@@ -224,14 +237,14 @@ class SnapshotStore:
             public_only=public_only,
             created_unix=time.time(),
         )
-        header = json.dumps(
-            {
-                "format": SNAPSHOT_FORMAT,
-                "schema_version": SCHEMA_VERSION,
-                "manifest": manifest.to_dict(),
-            },
-            separators=(",", ":"),
-        ).encode("utf-8")
+        header_dict = {
+            "format": SNAPSHOT_FORMAT,
+            "schema_version": SCHEMA_VERSION,
+            "manifest": manifest.to_dict(),
+        }
+        if analysis is not None:
+            header_dict["analysis"] = analysis
+        header = json.dumps(header_dict, separators=(",", ":")).encode("utf-8")
         if rotate and self.path.exists():
             os.replace(self.path, self.previous_path)
         atomic_write_bytes(self.path, header + b"\n" + payload)
@@ -321,12 +334,16 @@ class SnapshotStore:
             # Checksum passed but the payload is still bad: the writer
             # persisted garbage. Treat as corruption, not a format error.
             raise SnapshotCorruptError(f"{path}: {exc}") from exc
+        analysis = header.get("analysis")
+        if not isinstance(analysis, dict):
+            analysis = None  # absent in v2, or malformed: recompute lazily
         loaded = LoadedSnapshot(
             registry=registry,
             mined=tuple(mined),
             manifest=manifest,
             migrated_from=version if version != SCHEMA_VERSION else None,
             path=path,
+            analysis=analysis,
         )
         self._audit_or_raise(loaded, audit)
         return loaded

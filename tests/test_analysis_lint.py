@@ -1,0 +1,213 @@
+"""Tests for the corpus lint engine: stable codes, positions, gating."""
+
+import pytest
+
+from repro.analysis import (
+    GRAPH_SOURCE,
+    LINT_CODES,
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    SEVERITY_ORDER,
+    lint_graph,
+    run_lint,
+)
+from repro.apispec import load_api_text
+from repro.data import corpus_texts, standard_registry
+
+API = """
+package java.lang;
+public class String {}
+
+package lib;
+public interface IShape {}
+public class Base {}
+public class Sub extends Base implements IShape {
+  public Sub();
+}
+public class Other extends Base {
+  public Other();
+}
+"""
+
+
+def lint(corpus_text, source="bad.mj", api=API):
+    return run_lint(load_api_text(api), [(source, corpus_text)])
+
+
+class TestCodeTable:
+    def test_codes_are_stable(self):
+        assert set(LINT_CODES) == {
+            "JL001",
+            "JL002",
+            "JL100",
+            "JL101",
+            "JL102",
+            "JL201",
+            "JL202",
+            "JL203",
+            "JL301",
+        }
+        assert SEVERITY_ORDER[SEVERITY_INFO] < SEVERITY_ORDER[SEVERITY_WARNING]
+        assert SEVERITY_ORDER[SEVERITY_WARNING] < SEVERITY_ORDER[SEVERITY_ERROR]
+
+
+class TestCorpusPasses:
+    def test_jl001_parse_error(self):
+        report = lint("class Broken {{{")
+        assert report.by_code("JL001")
+        assert report.failed(SEVERITY_ERROR)
+        assert "bad.mj" in report.by_code("JL001")[0].location
+
+    def test_jl002_resolve_error(self):
+        report = lint(
+            """
+            package c;
+            import lib.NoSuchType;
+            class K {
+              NoSuchType x() { return null; }
+            }
+            """
+        )
+        assert report.by_code("JL002")
+
+    def test_jl100_type_error(self):
+        report = lint(
+            """
+            package c;
+            import lib.Base;
+            class K {
+              Base get() {
+                Base b = new lib.Sub();
+                if (b) { return b; }
+                return b;
+              }
+            }
+            """
+        )
+        codes = report.codes
+        assert "JL100" in codes
+
+    def test_jl101_unrelated_cast_position(self):
+        report = lint(
+            """
+            package c;
+            import lib.Sub;
+            import lib.Other;
+            class K {
+              Sub get() {
+                Other o = new Other();
+                Sub s = (Sub) o;
+                return s;
+              }
+            }
+            """
+        )
+        (diag,) = report.by_code("JL101")
+        assert diag.severity == SEVERITY_ERROR
+        assert diag.position is not None
+        assert diag.location.startswith("bad.mj:")
+
+    def test_jl102_inviable_flow_with_position(self):
+        report = lint(
+            """
+            package c;
+            import lib.Base;
+            import lib.Sub;
+            import lib.Other;
+            class K {
+              Sub get() {
+                Base b = new Other();
+                Sub s = (Sub) b;
+                return s;
+              }
+            }
+            """
+        )
+        (diag,) = report.by_code("JL102")
+        assert "inviable cast" in diag.message
+        assert "lib.Other" in diag.message
+        assert diag.position is not None
+        # The flow-inviable form is not double-reported as JL101.
+        assert not report.by_code("JL101")
+
+    def test_jl201_api_name_shadowing(self):
+        report = lint(
+            """
+            package c;
+            class Sub {
+              void run() { }
+            }
+            """
+        )
+        (diag,) = report.by_code("JL201")
+        assert diag.severity == SEVERITY_WARNING
+        assert "shadows" in diag.message
+
+    def test_jl301_unused_local(self):
+        report = lint(
+            """
+            package c;
+            import lib.Sub;
+            class K {
+              void run() {
+                Sub s = new Sub();
+              }
+            }
+            """
+        )
+        (diag,) = report.by_code("JL301")
+        assert diag.severity == SEVERITY_INFO
+        assert "'s'" in diag.message
+        # Info findings gate only at the info threshold.
+        assert report.failed(SEVERITY_INFO)
+        assert not report.failed(SEVERITY_WARNING)
+
+    def test_assignment_write_is_not_a_read(self):
+        report = lint(
+            """
+            package c;
+            import lib.Sub;
+            class K {
+              void run() {
+                Sub s = new Sub();
+                s = new Sub();
+              }
+            }
+            """
+        )
+        assert report.by_code("JL301")
+
+
+class TestBundledCorpusClean:
+    def test_bundled_corpus_has_no_errors(self):
+        report = run_lint(standard_registry(), corpus_texts())
+        assert not report.failed(SEVERITY_ERROR), [
+            str(d) for d in report.diagnostics
+        ]
+        assert len(report.linted_sources) == len(corpus_texts())
+
+
+class TestGraphChecks:
+    def test_jl202_unwitnessed_downcast(self, standard_prospector):
+        from repro.graph import SignatureGraph
+
+        registry = standard_prospector.registry
+        ablation = SignatureGraph.from_registry(registry, include_downcasts=True)
+        diagnostics = lint_graph(ablation, standard_prospector.verdicts)
+        jl202 = [d for d in diagnostics if d.code == "JL202"]
+        assert jl202
+        assert all(d.source == GRAPH_SOURCE for d in jl202)
+        assert all(d.position is None for d in jl202)
+
+    def test_mined_graph_downcasts_all_witnessed(self, standard_prospector):
+        diagnostics = lint_graph(
+            standard_prospector.graph, standard_prospector.verdicts
+        )
+        assert not [d for d in diagnostics if d.code == "JL202"]
+
+    def test_report_dict_shape(self):
+        report = lint("class Broken {{{")
+        data = report.to_dict()
+        assert data["counts"][SEVERITY_ERROR] == 1
+        assert data["diagnostics"][0]["code"] == "JL001"

@@ -1,0 +1,130 @@
+"""Exit-code contract for ``repro lint`` (and the analysis CLI surface).
+
+0 = clean at the chosen threshold, 1 = findings, 2 = usage/corpus error.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = """
+package c;
+class Quiet {
+  java.lang.String greet(java.lang.String s) {
+    return s;
+  }
+}
+"""
+
+INFO_ONLY = """
+package c;
+class Sloppy {
+  void run(java.lang.String s) {
+    java.lang.String unused = s;
+  }
+}
+"""
+
+INVIABLE = """
+package c;
+class BadFlow {
+  void run() {
+    Object o = new org.eclipse.swt.widgets.Display();
+    org.eclipse.core.resources.IResource r =
+        (org.eclipse.core.resources.IResource) o;
+    r.getName();
+  }
+}
+"""
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestLintExitCodes:
+    def test_bundled_corpus_is_clean_exit_zero(self, capsys):
+        assert main(["lint"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_clean_file_exit_zero(self, tmp_path, capsys):
+        code = main(["lint", "--corpus", write(tmp_path, "clean.mj", CLEAN)])
+        assert code == 0
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        code = main(["lint", "--corpus", write(tmp_path, "sloppy.mj", INFO_ONLY)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "JL301" in out
+
+    def test_fail_on_threshold_filters_info(self, tmp_path, capsys):
+        corpus = write(tmp_path, "sloppy.mj", INFO_ONLY)
+        assert main(["lint", "--corpus", corpus, "--fail-on", "error"]) == 0
+        assert main(["lint", "--corpus", corpus, "--fail-on", "info"]) == 1
+
+    def test_inviable_cast_fails_error_gate(self, tmp_path, capsys):
+        corpus = write(tmp_path, "badflow.mj", INVIABLE)
+        code = main(["lint", "--corpus", corpus, "--fail-on", "error"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "JL102" in out
+        assert "badflow.mj:" in out  # file:line:column position
+
+    def test_missing_corpus_file_exit_two(self, tmp_path, capsys):
+        code = main(["lint", "--corpus", str(tmp_path / "nope.mj")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_no_corpus_exit_two(self, capsys):
+        assert main(["lint", "--no-corpus"]) == 2
+
+    def test_bad_fail_on_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "--fail-on", "fatal"])
+        assert excinfo.value.code == 2
+
+    def test_graph_checks_opt_in(self, capsys):
+        assert main(["lint", "--graph"]) == 0
+
+
+class TestQueryVerify:
+    def test_verify_prints_verdicts(self, capsys):
+        code = main(
+            ["query", "ISelection", "ICompilationUnit", "--verify", "--top", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[viability:" in out
+
+    def test_verify_shows_cast_findings(self, capsys):
+        code = main(["query", "ISelection", "IFile", "--verify", "--top", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[viability: justified]" in out
+
+
+class TestBenchAnalysis:
+    def test_bench_analysis_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_analysis.json"
+        code = main(
+            [
+                "bench-analysis",
+                "-o",
+                str(out_path),
+                "--min-agreement",
+                "0.95",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "soundness: ok" in out
+        data = json.loads(out_path.read_text())
+        assert data["soundness_ok"] is True
+        assert data["top_ranked"]["agreement_rate"] >= 0.95
+
+    def test_bench_analysis_needs_corpus(self, capsys):
+        assert main(["bench-analysis", "--no-corpus"]) == 2

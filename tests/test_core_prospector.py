@@ -178,3 +178,63 @@ class TestUpdateCorpus:
         bare = Prospector(small_registry)
         with pytest.raises(RuntimeError):
             bare.update_corpus(upserts=[("a.mj", "package p; public class A {}")])
+
+
+class TestViabilityAnalysis:
+    """Prospector.verify and the verdict index wiring."""
+
+    def test_corpus_prospector_has_verdicts(self, small_prospector):
+        assert small_prospector.verdicts is not None
+        assert len(small_prospector.verdicts) > 0
+
+    def test_verify_composes_result_jungloids(self, small_prospector):
+        from repro.analysis import CastVerdict
+
+        results = small_prospector.query("demo.ui.Viewer", "demo.ui.Item")
+        assert results
+        assert results[0].jungloid.downcast_count == 2
+        verdict = small_prospector.verify(results[0].jungloid)
+        assert verdict.verdict is CastVerdict.JUSTIFIED
+        assert verdict.downcast_count == 2
+
+    def test_results_carry_verdicts(self, small_prospector):
+        results = small_prospector.query("demo.ui.Viewer", "demo.ui.Item")
+        assert results
+        for result in results:
+            assert result.verdict is not None
+
+    def test_verify_without_corpus_uses_relatedness_fallback(self, small_registry):
+        from repro.analysis import CastVerdict
+        from repro.jungloids import Jungloid, downcast
+
+        bare = Prospector(small_registry)
+        assert bare.verdicts is None
+        widget = small_registry.lookup("demo.ui.Widget")
+        item = small_registry.lookup("demo.ui.Item")
+        verdict = bare.verify(Jungloid.of(downcast(widget, item)))
+        assert verdict.verdict is CastVerdict.PLAUSIBLE
+
+    def test_snapshot_round_trips_verdicts(self, tmp_path, small_prospector):
+        path = tmp_path / "graph.psnap"
+        small_prospector.save_snapshot(path)
+        loaded = Prospector.from_snapshot(path)
+        assert loaded.verdicts is not None
+        assert set(loaded.verdicts.witnessed_pairs) == set(
+            small_prospector.verdicts.witnessed_pairs
+        )
+        results = loaded.query("demo.ui.Viewer", "demo.ui.Item")
+        assert results and results[0].verdict is not None
+
+    def test_update_corpus_refreshes_verdicts(self, small_registry):
+        from repro.corpus import load_corpus_texts
+
+        from .conftest import SMALL_CORPUS
+
+        live = Prospector(
+            small_registry,
+            load_corpus_texts(small_registry, [("handler.mj", SMALL_CORPUS)]),
+        )
+        assert len(live.verdicts) > 0
+        live.update_corpus(removes=["handler.mj"])
+        assert live.verdicts is live.pipeline.verdicts
+        assert len(live.verdicts) == 0

@@ -11,6 +11,7 @@ public class String {}
 
 package lib;
 public interface IThing {}
+public interface IOther {}
 public class Base {}
 public class Sub extends Base {}
 public class Unrelated {}
@@ -166,6 +167,65 @@ class TestConditionsAndCasts:
             class K { IThing f(Sub s) { return (IThing) s; } }
             """
         ).ok
+
+    def test_interface_to_interface_cast_allowed(self):
+        # Unrelated interfaces: the runtime class may implement both.
+        assert check(
+            """
+            package c;
+            import lib.IThing;
+            import lib.IOther;
+            class K { IOther f(IThing t) { return (IOther) t; } }
+            """
+        ).ok
+
+    def test_cast_to_self_allowed(self):
+        assert check(
+            """
+            package c;
+            import lib.Sub;
+            class K { Sub f(Sub s) { return (Sub) s; } }
+            """
+        ).ok
+
+    def test_cast_through_object_allowed(self):
+        # Widening to Object then narrowing to an unrelated class: each
+        # cast relates to Object by subtyping, so both are plausible.
+        assert check(
+            """
+            package c;
+            import lib.Sub;
+            import lib.Unrelated;
+            class K {
+              Unrelated f(Sub s) {
+                Object o = s;
+                return (Unrelated) o;
+              }
+            }
+            """
+        ).ok
+
+    def test_primitive_to_primitive_cast_allowed(self):
+        assert check(
+            "package c; import lib.Maker; class K { long f(Maker m) { return (long) m.count(); } }"
+        ).ok
+
+    def test_reference_to_primitive_cast_rejected(self):
+        issues = issues_of(
+            "package c; import lib.Sub; class K { int f(Sub s) { return (int) s; } }"
+        )
+        assert any("primitive and reference" in i for i in issues)
+
+    def test_primitive_to_reference_cast_rejected(self):
+        issues = issues_of(
+            """
+            package c;
+            import lib.Maker;
+            import lib.Sub;
+            class K { Sub f(Maker m) { return (Sub) m.count(); } }
+            """
+        )
+        assert any("primitive and reference" in i for i in issues)
 
     def test_raise_if_failed(self):
         report = check(

@@ -203,6 +203,60 @@ class TestNoOpUpdates:
         assert live.search._compiled_graph() is compiled
 
 
+class TestAnalysisInvalidation:
+    """Verdict observations are cached per file and recomputed only for
+    files the update re-mined."""
+
+    def test_initial_build_analyzes_every_file(self, small_registry):
+        texts = [("handler.mj", SMALL_CORPUS), ("picker.mj", SMALL_CORPUS_B)]
+        pipeline = CorpusPipeline.build(small_registry, texts)
+        stats = pipeline.last_stats
+        assert set(stats.files_reanalyzed) == {"handler.mj", "picker.mj"}
+        assert stats.casts_reanalyzed > 0
+        assert pipeline.verdicts is not None
+        assert len(pipeline.verdicts) > 0
+
+    def test_warm_update_reanalyzes_only_remined_files(self, small_registry):
+        texts = [("handler.mj", SMALL_CORPUS), ("picker.mj", SMALL_CORPUS_B)]
+        pipeline = CorpusPipeline.build(small_registry, texts)
+        stats = pipeline.update(
+            [("picker.mj", SMALL_CORPUS_B + "\n// touched\n")], ()
+        )
+        assert set(stats.files_reanalyzed) == set(stats.files_remined)
+        assert "handler.mj" not in stats.files_reanalyzed
+        assert stats.timings.analyze_ms >= 0.0
+
+    def test_noop_update_reanalyzes_nothing(self, small_registry):
+        texts = [("handler.mj", SMALL_CORPUS)]
+        pipeline = CorpusPipeline.build(small_registry, texts)
+        verdicts = pipeline.verdicts
+        stats = pipeline.update([("handler.mj", SMALL_CORPUS)], ())
+        assert stats.noop
+        assert stats.files_reanalyzed == ()
+        assert stats.casts_reanalyzed == 0
+        assert pipeline.verdicts is verdicts
+
+    def test_verdicts_follow_corpus_edits(self, small_registry):
+        texts = [("handler.mj", SMALL_CORPUS)]
+        pipeline = CorpusPipeline.build(small_registry, texts)
+        pairs_before = set(pipeline.verdicts.witnessed_pairs)
+        assert ("demo.ui.ISelection", "demo.ui.IStructuredSelection") in (
+            pairs_before
+        )
+        pipeline.update((), ["handler.mj"])
+        assert len(pipeline.verdicts) == 0
+        pipeline.update(texts, ())
+        assert set(pipeline.verdicts.witnessed_pairs) == pairs_before
+
+    def test_update_stats_serialize_analysis_fields(self, small_registry):
+        texts = [("handler.mj", SMALL_CORPUS)]
+        pipeline = CorpusPipeline.build(small_registry, texts)
+        data = pipeline.last_stats.to_dict()
+        assert data["files_reanalyzed"] == ["handler.mj"]
+        assert data["casts_reanalyzed"] > 0
+        assert "analyze_ms" in data["timings"]
+
+
 class TestSelectiveInvalidation:
     def test_unaffected_target_survives_update(self, small_registry):
         texts = [("handler.mj", SMALL_CORPUS)]

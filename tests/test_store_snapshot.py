@@ -145,6 +145,61 @@ class TestSchemaVersions:
         with pytest.raises(SnapshotFormatError, match="payload_sha256"):
             SnapshotManifest.from_dict({"payload_bytes": 3})
 
+    def test_v2_header_migrates_with_analysis_none(self, tmp_path, small_registry):
+        # A pre-analysis (v2) snapshot: same payload, no "analysis" key.
+        store = SnapshotStore(tmp_path / "graph.psnap")
+        store.save(small_registry)
+        raw = store.path.read_bytes()
+        head, _, payload = raw.partition(b"\n")
+        header = json.loads(head)
+        header["schema_version"] = 2
+        header.pop("analysis", None)
+        store.path.write_bytes(
+            json.dumps(header, separators=(",", ":")).encode() + b"\n" + payload
+        )
+        loaded = store.load()
+        assert loaded.migrated_from == 2
+        assert loaded.analysis is None
+
+    def test_v3_analysis_round_trips(self, tmp_path, small_prospector):
+        store = SnapshotStore(tmp_path / "graph.psnap")
+        analysis = small_prospector.verdicts.to_dict()
+        assert analysis["pairs"]  # the small corpus witnesses casts
+        store.save(
+            small_prospector.registry,
+            small_prospector.mined_jungloids,
+            graph=small_prospector.graph,
+            analysis=analysis,
+        )
+        loaded = store.load()
+        assert loaded.migrated_from is None
+        assert loaded.analysis == analysis
+
+    def test_analysis_key_does_not_change_payload_digest(
+        self, tmp_path, small_prospector
+    ):
+        plain = SnapshotStore(tmp_path / "plain.psnap")
+        carried = SnapshotStore(tmp_path / "carried.psnap")
+        a = plain.save(small_prospector.registry, small_prospector.mined_jungloids)
+        b = carried.save(
+            small_prospector.registry,
+            small_prospector.mined_jungloids,
+            analysis=small_prospector.verdicts.to_dict(),
+        )
+        assert a.payload_sha256 == b.payload_sha256
+
+    def test_malformed_analysis_loads_as_none(self, tmp_path, small_registry):
+        store = SnapshotStore(tmp_path / "graph.psnap")
+        store.save(small_registry)
+        raw = store.path.read_bytes()
+        head, _, payload = raw.partition(b"\n")
+        header = json.loads(head)
+        header["analysis"] = "not-a-dict"
+        store.path.write_bytes(
+            json.dumps(header, separators=(",", ":")).encode() + b"\n" + payload
+        )
+        assert store.load().analysis is None
+
 
 class TestInjectableReader:
     def test_custom_reader_is_used(self, tmp_path, small_registry):
